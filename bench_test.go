@@ -1,0 +1,272 @@
+// Package repro_test hosts the benchmark harness regenerating every table
+// and figure of the paper's evaluation, plus ablations of the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark iteration simulates the configuration and reports the
+// paper's headline quantities as custom metrics (uW, percent, MHz). Short
+// simulated durations keep the suite tractable; cmd/wbsn-bench exposes the
+// paper's full 60 s runs.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ecg"
+	"repro/internal/exp"
+	"repro/internal/power"
+)
+
+func benchOpts() exp.Options {
+	return exp.Options{Duration: 2.5, ProbeDuration: 1.5, PathoFrac: 0.2, Seed: 1}
+}
+
+func benchSignal(b *testing.B, app string, opts exp.Options) *ecg.Signal {
+	b.Helper()
+	cfg := ecg.DefaultConfig()
+	cfg.Seed = opts.Seed
+	if app == apps.RPClass {
+		cfg.PathologicalFrac = opts.PathoFrac
+	}
+	sig, err := ecg.Synthesize(cfg, opts.Duration+2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sig
+}
+
+// benchTableIApp measures one Table I column pair and reports the headline
+// metrics.
+func benchTableIApp(b *testing.B, app string) {
+	opts := benchOpts()
+	params := power.DefaultParams()
+	sig := benchSignal(b, app, opts)
+	for i := 0; i < b.N; i++ {
+		scOp, err := exp.SolveOperatingPoint(app, power.SC, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mcOp, err := exp.SolveOperatingPoint(app, power.MC, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, err := exp.Measure(app, power.SC, scOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc, err := exp.Measure(app, power.MC, mcOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sc.Report.TotalUW, "SC-uW")
+		b.ReportMetric(mc.Report.TotalUW, "MC-uW")
+		b.ReportMetric(100*(1-mc.Report.TotalUW/sc.Report.TotalUW), "saving-%")
+		b.ReportMetric(sc.Op.FreqHz/1e6, "SC-MHz")
+		b.ReportMetric(mc.Op.FreqHz/1e6, "MC-MHz")
+		b.ReportMetric(mc.Counters.IMBroadcastPct(), "IM-bcast-%")
+		b.ReportMetric(mc.Counters.RuntimeOverheadPct(), "rt-ovh-%")
+	}
+}
+
+// BenchmarkTableI_3LMF regenerates Table I's 3L-MF columns.
+func BenchmarkTableI_3LMF(b *testing.B) { benchTableIApp(b, apps.MF3L) }
+
+// BenchmarkTableI_3LMMD regenerates Table I's 3L-MMD columns.
+func BenchmarkTableI_3LMMD(b *testing.B) { benchTableIApp(b, apps.MMD3L) }
+
+// BenchmarkTableI_RPCLASS regenerates Table I's RP-CLASS columns.
+func BenchmarkTableI_RPCLASS(b *testing.B) { benchTableIApp(b, apps.RPClass) }
+
+// benchFig6App measures one benchmark's three Figure 6 bars.
+func benchFig6App(b *testing.B, app string) {
+	opts := benchOpts()
+	params := power.DefaultParams()
+	sig := benchSignal(b, app, opts)
+	for i := 0; i < b.N; i++ {
+		scOp, err := exp.SolveOperatingPoint(app, power.SC, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mcOp, err := exp.SolveOperatingPoint(app, power.MC, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nsOp, err := exp.SolveOperatingPoint(app, power.MCNoSync, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, err := exp.Measure(app, power.SC, scOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ns, err := exp.Measure(app, power.MCNoSync, nsOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc, err := exp.Measure(app, power.MC, mcOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sc.Report.TotalUW, "SC-uW")
+		b.ReportMetric(ns.Report.TotalUW, "MCnosync-uW")
+		b.ReportMetric(mc.Report.TotalUW, "MC-uW")
+		b.ReportMetric(100*mc.Report.TotalUW/sc.Report.TotalUW, "MC-vs-SC-%")
+		b.ReportMetric(100*ns.Report.TotalUW/sc.Report.TotalUW, "nosync-vs-SC-%")
+	}
+}
+
+// BenchmarkFigure6_3LMF regenerates Figure 6's 3L-MF group.
+func BenchmarkFigure6_3LMF(b *testing.B) { benchFig6App(b, apps.MF3L) }
+
+// BenchmarkFigure6_3LMMD regenerates Figure 6's 3L-MMD group.
+func BenchmarkFigure6_3LMMD(b *testing.B) { benchFig6App(b, apps.MMD3L) }
+
+// BenchmarkFigure6_RPCLASS regenerates Figure 6's RP-CLASS group.
+func BenchmarkFigure6_RPCLASS(b *testing.B) { benchFig6App(b, apps.RPClass) }
+
+// BenchmarkFigure7 regenerates the Figure 7 sweep endpoints and midpoint:
+// the pathological-share positions that define the curve's shape.
+func BenchmarkFigure7(b *testing.B) {
+	params := power.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		for _, share := range []float64{0, 0.20, 1.00} {
+			opts := benchOpts()
+			opts.PathoFrac = share
+			cfg := ecg.DefaultConfig()
+			cfg.Seed = opts.Seed
+			cfg.PathologicalFrac = share
+			sig, err := ecg.Synthesize(cfg, opts.Duration+2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scOp, err := exp.SolveOperatingPoint(apps.RPClass, power.SC, sig, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mcOp, err := exp.SolveOperatingPoint(apps.RPClass, power.MC, sig, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc, err := exp.Measure(apps.RPClass, power.SC, scOp, sig, opts, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mc, err := exp.Measure(apps.RPClass, power.MC, mcOp, sig, opts, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			red := 100 * (1 - mc.Report.TotalUW/sc.Report.TotalUW)
+			switch share {
+			case 0:
+				b.ReportMetric(red, "reduction-0%%-patho")
+			case 0.20:
+				b.ReportMetric(red, "reduction-20%%-patho")
+			case 1.00:
+				b.ReportMetric(red, "reduction-100%%-patho")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSyncISE quantifies the proposed ISE against active
+// waiting at each variant's own feasible operating point: the gap is the
+// combined value of clock gating and lock-step recovery.
+func BenchmarkAblationSyncISE(b *testing.B) {
+	opts := benchOpts()
+	params := power.DefaultParams()
+	sig := benchSignal(b, apps.MF3L, opts)
+	for i := 0; i < b.N; i++ {
+		mcOp, err := exp.SolveOperatingPoint(apps.MF3L, power.MC, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nsOp, err := exp.SolveOperatingPoint(apps.MF3L, power.MCNoSync, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc, err := exp.Measure(apps.MF3L, power.MC, mcOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ns, err := exp.Measure(apps.MF3L, power.MCNoSync, nsOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ns.Report.TotalUW/mc.Report.TotalUW, "nosync-vs-sync-x")
+		b.ReportMetric(nsOp.FreqHz/mcOp.FreqHz, "freq-penalty-x")
+	}
+}
+
+// BenchmarkAblationVFS isolates the voltage-frequency-scaling contribution:
+// the multi-core measured at its own frequency but the single-core voltage.
+func BenchmarkAblationVFS(b *testing.B) {
+	opts := benchOpts()
+	params := power.DefaultParams()
+	sig := benchSignal(b, apps.MF3L, opts)
+	for i := 0; i < b.N; i++ {
+		mcOp, err := exp.SolveOperatingPoint(apps.MF3L, power.MC, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc, err := exp.Measure(apps.MF3L, power.MC, mcOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		noVFS := mcOp
+		noVFS.VoltageV = 0.6 // the single-core operating voltage
+		mcHighV, err := exp.Measure(apps.MF3L, power.MC, noVFS, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mc.Report.TotalUW, "MC-0.5V-uW")
+		b.ReportMetric(mcHighV.Report.TotalUW, "MC-0.6V-uW")
+		b.ReportMetric(100*(1-mc.Report.TotalUW/mcHighV.Report.TotalUW), "VFS-gain-%")
+	}
+}
+
+// BenchmarkAblationBroadcast reports the instruction-memory energy saved by
+// lock-step broadcasting: merged fetches never reach a bank.
+func BenchmarkAblationBroadcast(b *testing.B) {
+	opts := benchOpts()
+	params := power.DefaultParams()
+	sig := benchSignal(b, apps.MF3L, opts)
+	for i := 0; i < b.N; i++ {
+		mcOp, err := exp.SolveOperatingPoint(apps.MF3L, power.MC, sig, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc, err := exp.Measure(apps.MF3L, power.MC, mcOp, sig, opts, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saved := float64(mc.Counters.IMReqs-mc.Counters.IMAccesses) * params.IMReadPJ *
+			params.DynScale(mcOp.VoltageV) / mc.Report.DurationS * 1e-6
+		b.ReportMetric(saved, "IM-saved-uW")
+		b.ReportMetric(mc.Counters.IMBroadcastPct(), "IM-bcast-%")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: platform
+// cycles per wall second for the 8-core-class configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sig := benchSignal(b, apps.MF3L, benchOpts())
+	v, err := apps.Build(apps.MF3L, power.MC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		p, err := v.NewPlatform(sig, 2e6, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.RunSeconds(1); err != nil {
+			b.Fatal(err)
+		}
+		total += p.Cycle()
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "cycles/s")
+}

@@ -1,0 +1,42 @@
+// Command wbsn-asm assembles a WB16 source file and prints the encoded
+// instruction listing with disassembly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	codeBase := flag.Int("code-base", 0, "base IM word address")
+	dataBase := flag.Int("data-base", 16, "base DM word address")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wbsn-asm [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code, data, syms, err := asm.AssembleSnippet(string(src), *codeBase, *dataBase)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("; %d instructions, %d data words, %d symbols\n", len(code), len(data), len(syms))
+	for i, w := range code {
+		fmt.Printf("%06x: %06x  %s\n", *codeBase+i, w, isa.Decode(w))
+	}
+	if len(data) > 0 {
+		fmt.Println("; data")
+		for i, w := range data {
+			fmt.Printf("%06x: %04x\n", *dataBase+i, w)
+		}
+	}
+}

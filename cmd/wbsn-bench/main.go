@@ -1,0 +1,64 @@
+// Command wbsn-bench regenerates the paper's evaluation artifacts: Table I,
+// Figure 6 and Figure 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/power"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1, fig6, fig7 or all")
+	duration := flag.Float64("duration", 10, "simulated seconds per measured run (paper: 60)")
+	probe := flag.Float64("probe", 2.5, "simulated seconds per operating-point probe")
+	patho := flag.Float64("pathological", 0.2, "RP-CLASS pathological-beat share for table1/fig6")
+	seed := flag.Int64("seed", 1, "synthetic ECG seed")
+	flag.Parse()
+
+	opts := exp.Options{Duration: *duration, ProbeDuration: *probe, PathoFrac: *patho, Seed: *seed}
+	params := power.DefaultParams()
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("table1", func() error {
+		rows, err := exp.TableI(opts, params)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table I: single-core (SC) vs multi-core (MC) executions ==")
+		fmt.Print(exp.FormatTableI(rows))
+		fmt.Println()
+		return nil
+	})
+	run("fig6", func() error {
+		bars, err := exp.Figure6(opts, params)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 6: power decomposition (SC, MC no-sync, MC proposed) ==")
+		fmt.Print(exp.FormatFigure6(bars))
+		fmt.Println()
+		return nil
+	})
+	run("fig7", func() error {
+		pts, err := exp.Figure7(opts, params)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 7: RP-CLASS power vs pathological-beat share ==")
+		fmt.Print(exp.FormatFigure7(pts))
+		fmt.Println()
+		return nil
+	})
+}

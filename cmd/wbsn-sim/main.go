@@ -1,0 +1,109 @@
+// Command wbsn-sim runs one benchmark application on one architecture
+// variant and prints the execution metrics, optionally dumping the mapping
+// (code placement and data layout, paper Fig. 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/ecg"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", apps.MF3L, "application: 3l-mf, 3l-mmd, rp-class")
+	archName := flag.String("arch", "mc", "architecture: sc, mc, mc-nosync")
+	clock := flag.Float64("clock-mhz", 1.0, "platform clock in MHz")
+	voltage := flag.Float64("voltage", 0.5, "supply voltage in V")
+	duration := flag.Float64("duration", 5, "simulated seconds")
+	patho := flag.Float64("pathological", 0.2, "pathological-beat share (rp-class)")
+	seed := flag.Int64("seed", 1, "synthetic ECG seed")
+	dumpMapping := flag.Bool("dump-mapping", false, "print code/data placement and exit")
+	traceN := flag.Int("trace", 0, "record platform events and print the last N")
+	flag.Parse()
+
+	arch := map[string]power.Arch{"sc": power.SC, "mc": power.MC, "mc-nosync": power.MCNoSync}[*archName]
+	v, err := apps.Build(*app, arch)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpMapping {
+		fmt.Printf("application %s on %s: %d cores\n\ncode placement (IM word addresses):\n", *app, arch, v.Cores)
+		names := make([]string, 0, len(v.Res.CodePlacement))
+		for n := range v.Res.CodePlacement {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			base := v.Res.CodePlacement[n]
+			fmt.Printf("  %-18s bank %d @ %#06x\n", n, base/4096, base)
+		}
+		fmt.Println("\ndata placement (DM word addresses):")
+		names = names[:0]
+		for n := range v.Res.DataPlacement {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-18s @ %#06x\n", n, v.Res.DataPlacement[n])
+		}
+		return
+	}
+
+	cfg := ecg.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.PathologicalFrac = *patho
+	sig, err := ecg.Synthesize(cfg, *duration+2)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := v.NewPlatform(sig, *clock*1e6, *voltage)
+	if err != nil {
+		fatal(err)
+	}
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(*traceN)
+		p.SetTracer(rec)
+	}
+	if err := p.RunSeconds(*duration); err != nil {
+		fatal(err)
+	}
+	c := p.Counters()
+	fmt.Printf("%s on %s at %.2f MHz / %.2f V for %.1fs simulated\n", *app, arch, *clock, *voltage, *duration)
+	fmt.Printf("  cycles %d, instructions %d, ADC samples %d, overruns %d\n", c.Cycles, c.Instrs, c.ADCSamples, p.Overruns())
+	fmt.Printf("  IM broadcast %.2f%%, DM broadcast %.2f%%, run-time overhead %.2f%%\n",
+		c.IMBroadcastPct(), c.DMBroadcastPct(), c.RuntimeOverheadPct())
+	fmt.Printf("  code overhead %.2f%%, active IM banks %d, active DM banks %d\n",
+		v.Res.Image.CodeOverheadPct(), p.ActiveIMBanks(), p.ActiveDMBanks())
+	rep, err := p.PowerReport(power.DefaultParams())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  avg power %.1f uW (dynamic %.1f, leakage %.1f)\n", rep.TotalUW, rep.TotalDynamicUW, rep.TotalLeakUW)
+	for comp := power.Component(0); comp < power.NumComponents; comp++ {
+		fmt.Printf("    %-14s %6.1f uW\n", comp, rep.ComponentUW(comp))
+	}
+	if errs := p.ErrCodes(); len(errs) > 0 {
+		fmt.Printf("  application errors: %d (first %#x)\n", len(errs), errs[0].Value)
+	}
+	if viol := p.Violations(); len(viol) > 0 {
+		fmt.Printf("  sync violations: %v\n", viol)
+	}
+	if rec != nil {
+		fmt.Printf("\nevent trace:\n%s", rec.Summary())
+		if err := rec.WriteTimeline(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

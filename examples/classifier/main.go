@@ -1,0 +1,50 @@
+// Classifier runs the RP-CLASS benchmark — event-driven heartbeat
+// classification where the four-core delineation chain sleeps until the
+// classifier flags a pathological beat (paper Fig. 5-c) — and shows how the
+// chain's activity follows the arrhythmia burden.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/ecg"
+	"repro/internal/power"
+)
+
+func main() {
+	for _, share := range []float64{0, 0.25, 1.0} {
+		cfg := ecg.DefaultConfig()
+		cfg.PathologicalFrac = share
+		sig, err := ecg.Synthesize(cfg, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := apps.Build(apps.RPClass, power.MC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := v.NewPlatform(sig, 1.2e6, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.RunSeconds(6); err != nil {
+			log.Fatal(err)
+		}
+		bcnt, _ := v.ReadWord(p, "rp_bcnt")
+		dcnt, _ := v.ReadWord(p, "rp_delcnt")
+		var chainBusy uint64
+		for c := 2; c <= 5; c++ {
+			chainBusy += p.CoreBusy(c)
+		}
+		rep, err := p.PowerReport(power.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pathological share %3.0f%%: %2d beats classified, %2d delineations, chain busy %7d cycles, %5.1f uW\n",
+			share*100, bcnt, dcnt, chainBusy, rep.TotalUW)
+	}
+	fmt.Println("\nthe delineation chain's activity (and power) follows the arrhythmia burden;")
+	fmt.Println("with no ectopic beats the four chain cores stay clock-gated throughout.")
+}

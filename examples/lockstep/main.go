@@ -1,0 +1,41 @@
+// Lockstep demonstrates the paper's core mechanism: three cores running the
+// identical filter phase fetch merged (broadcast) instructions while
+// aligned, diverge at data-dependent branches, and are realigned by the
+// SINC/SDEC+SLEEP recovery idiom. Removing the idiom (the no-sync variant)
+// visibly degrades broadcasting and forces a higher clock.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/ecg"
+	"repro/internal/power"
+)
+
+func main() {
+	sig, err := ecg.Synthesize(ecg.DefaultConfig(), 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, arch := range []power.Arch{power.MC, power.MCNoSync} {
+		v, err := apps.Build(apps.MF3L, arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := v.NewPlatform(sig, 1.6e6, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.RunSeconds(4); err != nil {
+			log.Fatal(err)
+		}
+		c := p.Counters()
+		fmt.Printf("%-10s IM broadcast %5.1f%%  fetch conflicts %8d  stalls %8d  sync ops %6d  overruns %d\n",
+			arch, c.IMBroadcastPct(), c.IMConflict, c.CoreStall, c.SyncOps, p.Overruns())
+	}
+	fmt.Println("\nwith lock-step recovery the three replicated cores re-merge after every")
+	fmt.Println("divergent window scan; without it, a single branch mismatch leaves them")
+	fmt.Println("serializing on their shared instruction bank until the next sample.")
+}

@@ -1,0 +1,183 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/ecg"
+	"repro/internal/isa"
+	"repro/internal/link"
+	"repro/internal/periph"
+	"repro/internal/platform"
+	"repro/internal/power"
+)
+
+// Application names.
+const (
+	MF3L    = "3l-mf"
+	MMD3L   = "3l-mmd"
+	RPClass = "rp-class"
+)
+
+// Names lists the three benchmarks in the paper's order.
+var Names = []string{MF3L, MMD3L, RPClass}
+
+// SampleRateHz is the ECG acquisition rate of every benchmark.
+const SampleRateHz = 250
+
+// Shared ring geometry (power-of-two lengths for cheap masking).
+const (
+	OutRingLen   = 2048 // conditioned-output rings
+	RawRingLen   = 2048 // raw-sample history rings (RP-CLASS)
+	ResultSlots  = 256  // result records kept (ring, overwrites oldest)
+	DescQueueLen = 16   // RP-CLASS pathological-beat descriptor queue
+)
+
+// RP-CLASS segment geometry: the delineation chain re-filters a raw window
+// around each pathological beat. The conditioned R lands TriggerDelay
+// samples after detection so the whole raw segment is guaranteed available
+// when the chain is kicked.
+const (
+	SegPre  = 90
+	SegPost = 85 // covers the chain filter's group delay + detector lag + edge window
+	SegLen  = SegPre + 1 + SegPost
+	// RawOffset converts a detected beat index (conditioned-stream time)
+	// to raw-sample time: the main conditioning chain's group delay.
+	// Must equal mfParams().TotalDelay().
+	RawOffset = 104
+	// TriggerDelay postpones classification past the beat so its window
+	// is complete with margin; it must stay below the detector refractory
+	// so a single pending-beat slot suffices. The chain itself waits for
+	// the remaining raw samples of its segment.
+	TriggerDelay = 46
+)
+
+// SC RP-CLASS interleaving: pending segment-samples processed per acquired
+// sample, bounding the per-sample worst case (and hence the min frequency)
+// while keeping segment throughput above the worst-case beat rate.
+const SCChunk = 1
+
+// Variant is one application built for one architecture.
+type Variant struct {
+	App   string
+	Arch  power.Arch
+	Cores int
+	Res   *link.Result
+}
+
+// Build generates, assembles and links one application variant.
+func Build(app string, arch power.Arch) (*Variant, error) {
+	switch app {
+	case MF3L:
+		return buildMF(arch)
+	case MMD3L:
+		return buildMMD(arch)
+	case RPClass:
+		return buildRPClass(arch)
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", app)
+}
+
+// stratFor maps the architecture to the synchronization lowering.
+func stratFor(arch power.Arch) strategy {
+	switch arch {
+	case power.SC:
+		return stratSC
+	case power.MCNoSync:
+		return stratBusy
+	default:
+		return stratSync
+	}
+}
+
+// Addr looks up a linker symbol as a data address.
+func (v *Variant) Addr(sym string) (uint16, error) {
+	a, ok := v.Res.Symbols[sym]
+	if !ok {
+		return 0, fmt.Errorf("apps: symbol %q not in image", sym)
+	}
+	return uint16(a), nil
+}
+
+// NewPlatform instantiates the variant on a simulated platform clocked at
+// clockHz, fed with the signal's leads.
+func (v *Variant) NewPlatform(sig *ecg.Signal, clockHz, voltageV float64) (*platform.Platform, error) {
+	cfg := platform.Config{
+		Arch:         v.Arch,
+		ClockHz:      clockHz,
+		VoltageV:     voltageV,
+		SampleRateHz: SampleRateHz,
+	}
+	for ch := 0; ch < periph.NumADCChannels; ch++ {
+		cfg.Traces[ch] = sig.Leads[ch]
+	}
+	return platform.New(cfg, v.Res.Image)
+}
+
+// ReadRing extracts n values from a shared ring buffer symbol.
+func (v *Variant) ReadRing(p *platform.Platform, sym string, ringLen, n int) ([]int16, error) {
+	base, err := v.Addr(sym)
+	if err != nil {
+		return nil, err
+	}
+	if n > ringLen {
+		n = ringLen
+	}
+	out := make([]int16, n)
+	for i := 0; i < n; i++ {
+		w, ok := p.PeekData(0, base+uint16(i))
+		if !ok {
+			return nil, fmt.Errorf("apps: reading %s[%d] failed", sym, i)
+		}
+		out[i] = int16(w)
+	}
+	return out, nil
+}
+
+// ReadWord reads one shared word by symbol.
+func (v *Variant) ReadWord(p *platform.Platform, sym string) (uint16, error) {
+	a, err := v.Addr(sym)
+	if err != nil {
+		return 0, err
+	}
+	w, ok := p.PeekData(0, a)
+	if !ok {
+		return 0, fmt.Errorf("apps: reading %s failed", sym)
+	}
+	return w, nil
+}
+
+// Aliases keep the builder signatures compact.
+type (
+	dspMF  = dsp.MFParams
+	dspMMD = dsp.MMDParams
+	dspRP  = dsp.RPParams
+)
+
+// mfParams returns the conditioning parameters shared between golden models
+// and generated code.
+func mfParams() dsp.MFParams { return dsp.DefaultMFParams() }
+
+// chainMFParams returns the lighter conditioning used by the RP-CLASS
+// delineation chain: the re-filtered segment is short, so its baseline is
+// locally constant and shorter structuring elements suffice — keeping the
+// on-demand burst small enough for the sequential baseline to interleave.
+func chainMFParams() dsp.MFParams { return dsp.MFParams{LOpen: 17, LClose: 25, LNoise: 5} }
+
+// chainMMDParams returns the delineator tuning for the RP-CLASS chain: the
+// lightly filtered segments carry smaller derivative magnitudes than the
+// full-rate combined stream, so the threshold is proportionally lower.
+func chainMMDParams() dsp.MMDParams {
+	p := dsp.DefaultMMDParams()
+	p.Thr = 250
+	return p
+}
+
+// mmdParams returns the delineation parameters.
+func mmdParams() dsp.MMDParams { return dsp.DefaultMMDParams() }
+
+// rpParams returns the classifier parameters.
+func rpParams() dsp.RPParams { return dsp.DefaultRPParams() }
+
+// irqMaskAll subscribes to all three ADC channels.
+const irqMaskAll = isa.IRQADC

@@ -1,0 +1,35 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestDiagMF(t *testing.T) {
+	sig := testSignal(t, 3, 0)
+	for _, arch := range []power.Arch{power.SC, power.MC, power.MCNoSync} {
+		v, err := Build(MF3L, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock := 4e6
+		p, err := v.NewPlatform(sig, clock, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.RunSeconds(2.5); err != nil {
+			t.Fatal(err)
+		}
+		c := p.Counters()
+		busiest := uint64(0)
+		for i := 0; i < v.Cores; i++ {
+			if b := p.CoreBusy(i); b > busiest {
+				busiest = b
+			}
+		}
+		t.Logf("%s: IMbcast=%.1f%% DMbcast=%.2f%% rtOvh=%.2f%% codeOvh=%.2f%% busiest=%.0f cyc/s (fmin=%.2fMHz) stalls=%d gated=%d instrs=%d overruns=%d\n",
+			arch, c.IMBroadcastPct(), c.DMBroadcastPct(), c.RuntimeOverheadPct(), v.Res.Image.CodeOverheadPct(),
+			float64(busiest)/2.5, float64(busiest)/2.5/1e6, c.CoreStall, c.CoreGated, c.Instrs, p.Overruns())
+	}
+}

@@ -1,0 +1,619 @@
+// Package apps builds the paper's three benchmark applications (§IV-D) as
+// WB16 programs:
+//
+//   - 3L-MF:    three-lead morphological filtering (Fig. 5-a)
+//   - 3L-MMD:   three-lead filtering + MMD delineation (Fig. 5-b)
+//   - RP-CLASS: random-projection heartbeat classification with on-demand
+//     three-lead delineation (Fig. 5-c)
+//
+// Each application is written once against the program-builder DSL and
+// lowered three ways, the paper's mapping step: SC (sequential single-core
+// baseline), MC (multi-core with the proposed synchronization ISE) and
+// MC-nosync (multi-core with active waiting, Figure 6's middle bars).
+// The generated kernels mirror the internal/dsp golden models instruction
+// for instruction, so simulator output is verified word-for-word.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// strategy selects the synchronization lowering.
+type strategy uint8
+
+const (
+	stratSC   strategy = iota // sequential, sleep on ADC interrupts
+	stratSync                 // proposed: SINC/SDEC/SNOP/SLEEP
+	stratBusy                 // active waiting, no sync ISE, no gating
+)
+
+// ring is a power-of-two circular buffer bound to a linker symbol.
+type ring struct {
+	sym string
+	len int
+}
+
+func (r ring) mask() int { return r.len - 1 }
+
+// dataGen accumulates the generated data segments.
+type dataGen struct {
+	src  []string
+	priv map[string]int // segment name -> core for private segments
+}
+
+func newDataGen() *dataGen {
+	return &dataGen{priv: map[string]int{}}
+}
+
+// space declares an uninitialized buffer segment and returns its base label.
+// core < 0 means shared.
+func (d *dataGen) space(name string, words, core int) string {
+	d.src = append(d.src, fmt.Sprintf(".data %s\n%s:\n .space %d\n", name, name, words))
+	if core >= 0 {
+		d.priv[name] = core
+	}
+	return name
+}
+
+// equ declares a named constant.
+func (d *dataGen) equ(name string, v int) string {
+	d.src = append(d.src, fmt.Sprintf(".equ %s, %d\n", name, v))
+	return name
+}
+
+// words declares an initialized shared table.
+func (d *dataGen) words(name string, vals []int16) string {
+	s := fmt.Sprintf(".data %s\n%s:\n", name, name)
+	for i := 0; i < len(vals); i += 8 {
+		s += " .word "
+		for j := i; j < i+8 && j < len(vals); j++ {
+			if j > i {
+				s += ", "
+			}
+			s += fmt.Sprintf("%d", vals[j])
+		}
+		s += "\n"
+	}
+	d.src = append(d.src, s)
+	return name
+}
+
+func (d *dataGen) source() string {
+	out := ""
+	for _, s := range d.src {
+		out += s
+	}
+	return out
+}
+
+// newRing declares a ring buffer segment. Power-of-two length required.
+func (d *dataGen) newRing(name string, length, core int) ring {
+	if length&(length-1) != 0 {
+		panic(fmt.Sprintf("apps: ring %s length %d not a power of two", name, length))
+	}
+	d.space(name, length, core)
+	return ring{sym: name, len: length}
+}
+
+// kgen couples a code builder with emission helpers shared by the kernels.
+type kgen struct {
+	b     *prog.Builder
+	strat strategy
+	// lockPoint is the sync point used for lock-step recovery regions;
+	// empty disables them (single-core phases and busy-wait lowering).
+	lockPoint string
+}
+
+// syncRegion wraps body in the lock-step recovery idiom when enabled.
+func (g *kgen) syncRegion(body func()) {
+	if g.strat == stratSync && g.lockPoint != "" {
+		g.b.SyncRegion(g.lockPoint, body)
+		return
+	}
+	body()
+}
+
+// ringPush stores v into r at index (s & mask).
+func (g *kgen) ringPush(s, v *prog.Reg, r ring) {
+	b := g.b
+	t := b.Temp()
+	base := b.Temp()
+	b.AndMask(t, s, r.mask())
+	b.La(base, r.sym)
+	b.Add(base, base, t)
+	b.Sw(v, base, 0)
+	b.Free(t, base)
+}
+
+// ringAt loads dst = r[(s - back) & mask].
+func (g *kgen) ringAt(dst, s *prog.Reg, back int, r ring) {
+	b := g.b
+	t := b.Temp()
+	base := b.Temp()
+	b.Addi(t, s, -back)
+	b.AndMask(t, t, r.mask())
+	b.La(base, r.sym)
+	b.Add(base, base, t)
+	b.Lw(dst, base, 0)
+	b.Free(t, base)
+}
+
+// ringScan computes the causal window min (or max) of the last l samples of
+// r into acc: the naive data-dependent compare-and-branch loop whose
+// divergence the paper's lock-step recovery targets.
+func (g *kgen) ringScan(acc, s *prog.Reg, l int, r ring, max bool) {
+	b := g.b
+	j := b.Temp()
+	base := b.Temp()
+	cnt := b.Temp()
+	t := b.Temp()
+	v := b.Temp()
+
+	b.Addi(j, s, -(l - 1))
+	b.La(base, r.sym)
+	// First element initializes the accumulator.
+	b.AndMask(t, j, r.mask())
+	b.Add(t, base, t)
+	b.Lw(acc, t, 0)
+	b.Li(cnt, l-1)
+	if l > 1 {
+		top := b.NewLabel("scan")
+		skip := b.NewLabel("noupd")
+		b.Label(top)
+		b.Addi(j, j, 1)
+		b.AndMask(t, j, r.mask())
+		b.Add(t, base, t)
+		b.Lw(v, t, 0)
+		// Data-dependent update with an extra bookkeeping instruction
+		// on the taken-update path (real kernels track the extremum
+		// position). The timing imbalance means cores whose branch
+		// outcomes differ slip out of alignment — exactly the
+		// divergence the paper's SINC/SDEC regions recover from
+		// (§III-B, method of [8]).
+		if max {
+			b.Blt(v, acc, skip)
+		} else {
+			b.Bge(v, acc, skip)
+		}
+		b.Mov(acc, v)
+		b.Mov(t, j) // extremum-position upkeep
+		b.Label(skip)
+		b.Addi(cnt, cnt, -1)
+		b.Bnez(cnt, top)
+	}
+	b.Free(j, base, cnt, t, v)
+}
+
+// mfRings is one morphological-filter instance's buffer set.
+type mfRings struct {
+	raw, ero, opn, dil, det, nsEro, nsDil ring
+	p                                     dsp.MFParams
+}
+
+// declareMFRings allocates the instance's rings (core < 0: shared).
+func declareMFRings(d *dataGen, prefix string, p dsp.MFParams, core int) mfRings {
+	pow2 := func(min int) int {
+		n := 1
+		for n < min {
+			n <<= 1
+		}
+		return n
+	}
+	return mfRings{
+		p:     p,
+		raw:   d.newRing(prefix+"_raw", pow2(p.BaselineDelay()+1), core),
+		ero:   d.newRing(prefix+"_ero", pow2(p.LOpen), core),
+		opn:   d.newRing(prefix+"_opn", pow2(p.LClose), core),
+		dil:   d.newRing(prefix+"_dil", pow2(p.LClose), core),
+		det:   d.newRing(prefix+"_det", pow2(p.LNoise), core),
+		nsEro: d.newRing(prefix+"_nse", pow2(p.LNoise), core),
+		nsDil: d.newRing(prefix+"_nsd", pow2(p.LNoise), core),
+	}
+}
+
+// totalWords returns the instance's buffer footprint.
+func (m mfRings) totalWords() int {
+	return m.raw.len + m.ero.len + m.opn.len + m.dil.len + m.det.len + m.nsEro.len + m.nsDil.len
+}
+
+// emitMF generates one streaming conditioning step (dsp.MFState.Push): x is
+// the raw sample, s the sample counter; the conditioned sample lands in y.
+// Each window scan is a data-dependent segment wrapped in a lock-step
+// recovery region when the strategy calls for it.
+func (g *kgen) emitMF(y, x, s *prog.Reg, m mfRings) {
+	b := g.b
+	p := m.p
+	t := b.Temp()
+
+	xd := b.Temp()
+	b.Comment("MF: opening (erosion + dilation)")
+	g.ringPush(s, x, m.raw)
+	g.syncRegion(func() {
+		g.ringScan(t, s, p.LOpen, m.raw, false)
+		g.ringPush(s, t, m.ero)
+		g.ringScan(t, s, p.LOpen, m.ero, true)
+	})
+	g.ringPush(s, t, m.opn)
+	b.Comment("MF: closing (dilation + erosion) + detrend")
+	g.syncRegion(func() {
+		g.ringScan(t, s, p.LClose, m.opn, true)
+		g.ringPush(s, t, m.dil)
+		g.ringScan(t, s, p.LClose, m.dil, false)
+	})
+	g.ringAt(xd, s, p.BaselineDelay(), m.raw)
+	b.Sub(xd, xd, t) // detrended sample
+	g.ringPush(s, xd, m.det)
+	b.Comment("MF: noise-suppression stage 1")
+	g.syncRegion(func() {
+		g.ringScan(t, s, p.LNoise, m.det, false)
+		g.ringPush(s, t, m.nsEro)
+		g.ringScan(t, s, p.LNoise, m.det, true)
+		g.ringPush(s, t, m.nsDil)
+	})
+	b.Comment("MF: noise-suppression stage 2")
+	g.syncRegion(func() {
+		g.ringScan(t, s, p.LNoise, m.nsEro, true)
+		g.ringScan(xd, s, p.LNoise, m.nsDil, false)
+	})
+	b.Add(y, t, xd)
+	b.Srai(y, y, 1)
+	b.Free(t, xd)
+}
+
+// emitResetRings zeroes an MF instance's rings and is used by the RP-CLASS
+// delineation chain, whose segment filtering starts from clean state (the
+// golden model filters the extracted segment with zero history).
+func (g *kgen) emitResetRings(m mfRings) {
+	for _, r := range []ring{m.raw, m.ero, m.opn, m.dil, m.det, m.nsEro, m.nsDil} {
+		g.emitMemset(r.sym, r.len)
+	}
+}
+
+// emitMemset zeroes words at a symbol.
+func (g *kgen) emitMemset(sym string, words int) {
+	b := g.b
+	base := b.Temp()
+	cnt := b.Temp()
+	b.La(base, sym)
+	b.Li(cnt, words)
+	top := b.NewLabel("memset")
+	b.Label(top)
+	b.Sw(prog.Zero, base, 0)
+	b.Addi(base, base, 1)
+	b.Addi(cnt, cnt, -1)
+	b.Bnez(cnt, top)
+	b.Free(base, cnt)
+}
+
+// emitCombine3 computes y = (|a| + |b| + |c|) >> 1 (dsp.Combine3).
+func (g *kgen) emitCombine3(y, a, bb, c *prog.Reg) {
+	b := g.b
+	t := b.Temp()
+	b.Abs(y, a)
+	b.Abs(t, bb)
+	b.Add(y, y, t)
+	b.Abs(t, c)
+	b.Add(y, y, t)
+	b.Srai(y, y, 1)
+	b.Free(t)
+}
+
+// emitMMDStep computes det[n] for the streaming delineator: the combined
+// sample must already be pushed into comb at counter s. Matches
+// dsp.DetectionStream: det = (|d_s1| + |d_s2|) >> 1 with
+// d_s = max(win) + min(win) - 2*comb[n - s/2], window length scale+1.
+func (g *kgen) emitMMDStep(det, s *prog.Reg, comb ring, p dsp.MMDParams) {
+	b := g.b
+	mx := b.Temp()
+	mn := b.Temp()
+	ctr := b.Temp()
+	for i, scale := range []int{p.Scale1, p.Scale2} {
+		g.syncRegion(func() {
+			g.ringScan(mx, s, scale+1, comb, true)
+			g.ringScan(mn, s, scale+1, comb, false)
+		})
+		g.ringAt(ctr, s, scale/2, comb)
+		b.Add(mx, mx, mn)
+		b.Sub(mx, mx, ctr)
+		b.Sub(mx, mx, ctr) // d_s = max + min - 2*center
+		if i == 0 {
+			b.Abs(det, mx)
+		} else {
+			b.Abs(mx, mx)
+			b.Add(det, det, mx)
+		}
+	}
+	b.Srai(det, det, 1)
+	b.Free(mx, mn, ctr)
+}
+
+// emitCfgGate reads a shared configuration word and skips to skipLabel when
+// it is zero (a soft enable). Replicated lock-step cores read the same
+// shared location in the same cycle, which the crossbar merges into one
+// broadcast access — the data-memory counterpart of instruction
+// broadcasting (Table I's "DM Broadcast").
+func (g *kgen) emitCfgGate(cfgSym, skipLabel string) {
+	b := g.b
+	t := b.Temp()
+	base := b.Temp()
+	b.La(base, cfgSym)
+	b.Lw(t, base, 0)
+	cont := b.NewLabel("cfgok")
+	b.Bnez(t, cont) // branch-over-jump: skipLabel may be far away
+	b.J(skipLabel)
+	b.Label(cont)
+	b.Free(t, base)
+}
+
+// ringAtReg loads dst = r[(s - back) & mask] with a register-held distance.
+func (g *kgen) ringAtReg(dst, s, back *prog.Reg, r ring) {
+	b := g.b
+	t := b.Temp()
+	base := b.Temp()
+	b.Sub(t, s, back)
+	b.AndMask(t, t, r.mask())
+	b.La(base, r.sym)
+	b.Add(base, base, t)
+	b.Lw(dst, base, 0)
+	b.Free(t, base)
+}
+
+// Detector state-slot layout (one private scalar block per delineator).
+const (
+	stMode   = 0 // 0 idle, 1 peak search, 2 waiting for the edge window
+	stPeakV  = 1
+	stPeakAt = 2
+	stLeft   = 3
+	stLast   = 4
+	stOnset  = 5
+	stOffset = 6
+	stSlots  = 7
+)
+
+// emitDetectorInit resets the QRS-detector state block.
+func (g *kgen) emitDetectorInit(stSym string, p dsp.MMDParams) {
+	b := g.b
+	st := b.Temp()
+	t := b.Temp()
+	b.La(st, stSym)
+	for i := 0; i < stSlots; i++ {
+		b.Sw(prog.Zero, st, i)
+	}
+	b.Li(t, -(p.Refractory + 1))
+	b.Sw(t, st, stLast)
+	b.Free(st, t)
+}
+
+// emitDetectorStep advances the streaming QRS detector by one sample: det is
+// the detection-stream value at index n (already pushed into detRing). The
+// streaming machine is cycle-for-cycle equivalent to dsp.Delineate except
+// that fiducials whose edge window extends past the processed samples are
+// still pending (dsp.DelineateStreamed). record is emitted with the state
+// block in st: slots stOnset/stPeakAt/stOffset hold the fiducials.
+func (g *kgen) emitDetectorStep(det, n *prog.Reg, detRing ring, stSym string, p dsp.MMDParams, record func(st *prog.Reg)) {
+	b := g.b
+	st := b.Temp()
+	mode := b.Temp()
+	b.La(st, stSym)
+	b.Lw(mode, st, 0)
+
+	// mode 0: idle — arm on a threshold crossing outside the refractory.
+	b.IfEq(mode, prog.Zero, func() {
+		t := b.Temp()
+		thr := b.Temp()
+		b.Lw(t, st, stLast)
+		b.Sub(t, n, t)            // n - last
+		b.Li(thr, p.Refractory+1) // strict: n - last > refractory
+		b.IfGe(t, thr, func() {
+			b.Li(thr, int(p.Thr))
+			b.IfGe(det, thr, func() {
+				b.Sw(det, st, stPeakV)
+				b.Sw(n, st, stPeakAt)
+				lt := b.Temp()
+				b.Li(lt, p.PeakWin)
+				b.Sw(lt, st, stLeft)
+				b.Li(lt, 1)
+				b.Sw(lt, st, stMode)
+				b.Free(lt)
+			}, nil)
+		}, nil)
+		b.Free(t, thr)
+	}, nil)
+
+	// mode 1: peak search over the next PeakWin samples (strict >).
+	one := b.Temp()
+	b.Li(one, 1)
+	b.IfEq(mode, one, func() {
+		pv := b.Temp()
+		b.Lw(pv, st, stPeakV)
+		b.IfLt(pv, det, func() { // det > peakV
+			b.Sw(det, st, stPeakV)
+			b.Sw(n, st, stPeakAt)
+		}, nil)
+		b.Lw(pv, st, stLeft)
+		b.Addi(pv, pv, -1)
+		b.Sw(pv, st, stLeft)
+		b.IfEq(pv, prog.Zero, func() {
+			t := b.Temp()
+			b.Li(t, 2)
+			b.Sw(t, st, stMode)
+			b.Free(t)
+		}, nil)
+		b.Free(pv)
+	}, nil)
+
+	// mode 2: when the edge window is complete, localize onset/offset.
+	b.Addi(one, one, 1) // == 2
+	b.IfEq(mode, one, func() {
+		pa := b.Temp()
+		t := b.Temp()
+		b.Lw(pa, st, stPeakAt)
+		b.Addi(t, pa, p.EdgeWin)
+		b.IfEq(n, t, func() {
+			edge := b.Temp()
+			b.Lw(edge, st, stPeakV)
+			b.Srai(edge, edge, p.EdgeDiv)
+
+			// Onset: walk back from the peak while det >= edge.
+			off := b.Temp()
+			v := b.Temp()
+			b.Sw(pa, st, stOnset)
+			b.Li(off, 0)
+			oTop := b.NewLabel("onset")
+			oEnd := b.NewLabel("onsetend")
+			b.Label(oTop)
+			b.Addi(t, off, p.EdgeWin) // back distance = (n-peak) + off
+			g.ringAtReg(v, n, t, detRing)
+			b.Blt(v, edge, oEnd)
+			b.Sub(t, pa, off)
+			b.Sw(t, st, stOnset)
+			b.Addi(off, off, 1)
+			b.Li(t, p.EdgeWin)
+			b.Bge(t, off, oTop)
+			b.Label(oEnd)
+
+			// Offset: walk forward from the peak while det >= edge.
+			b.Sw(pa, st, stOffset)
+			b.Li(off, 0)
+			fTop := b.NewLabel("offs")
+			fEnd := b.NewLabel("offsend")
+			b.Label(fTop)
+			b.Li(t, p.EdgeWin)
+			b.Sub(t, t, off) // back distance = (n-peak) - off
+			g.ringAtReg(v, n, t, detRing)
+			b.Blt(v, edge, fEnd)
+			b.Add(t, pa, off)
+			b.Sw(t, st, stOffset)
+			b.Addi(off, off, 1)
+			b.Li(t, p.EdgeWin)
+			b.Bge(t, off, fTop)
+			b.Label(fEnd)
+			b.Free(edge, off, v)
+
+			b.Sw(pa, st, stLast)
+			b.Sw(prog.Zero, st, stMode)
+			record(st)
+		}, nil)
+		b.Free(pa, t)
+	}, nil)
+	b.Free(one, st, mode)
+}
+
+// emitRecordTriple appends (onset, peak, offset) from the detector state to
+// a shared result buffer of 3-word slots with a shared count.
+func (g *kgen) emitRecordTriple(st *prog.Reg, resSym, cntSym string, slots int) {
+	b := g.b
+	rc := b.Temp()
+	base := b.Temp()
+	t := b.Temp()
+	b.La(base, cntSym)
+	b.Lw(rc, base, 0)
+	b.Addi(t, rc, 1)
+	b.Sw(t, base, 0)
+	b.AndMask(rc, rc, slots-1)
+	// slot offset = rc*3
+	b.Slli(t, rc, 1)
+	b.Add(rc, rc, t)
+	b.La(base, resSym)
+	b.Add(base, base, rc)
+	b.Lw(t, st, stOnset)
+	b.Sw(t, base, 0)
+	b.Lw(t, st, stPeakAt)
+	b.Sw(t, base, 1)
+	b.Lw(t, st, stOffset)
+	b.Sw(t, base, 2)
+	b.Free(rc, base, t)
+}
+
+// adcDataAddr returns the MMIO address of an ADC channel's data register.
+func adcDataAddr(ch int) int { return isa.RegADCData0 + ch }
+
+// emitWaitSample blocks until the ADC channels in mask are ready via
+// interrupt-driven sleep. All lowerings keep conventional ADC interrupts;
+// the paper's no-sync comparison point replaces only the producer-consumer
+// synchronization with active waiting (Figure 6: "performing active waiting
+// for the producer-consumer relationships").
+func (g *kgen) emitWaitSample(mask int) {
+	b := g.b
+	st := b.Temp()
+	top := b.NewLabel("wadc")
+	b.Label(top)
+	b.Sleep()
+	b.LoadMMIO(st, isa.RegADCStatus)
+	b.Andi(st, st, mask)
+	b.Beqz(st, top)
+	b.StoreMMIOImm(mask, isa.RegIRQPend)
+	b.Free(st)
+}
+
+// emitSubscribe subscribes the issuing core to the IRQ mask.
+func (g *kgen) emitSubscribe(mask int) {
+	g.b.StoreMMIOImm(mask, isa.RegIRQSub)
+}
+
+// emitWaitSampleOwnChannel waits for the issuing core's own ADC channel
+// (channel == core id), the idiom of the replicated filter phases.
+func (g *kgen) emitWaitSampleOwnChannel(id *prog.Reg) {
+	b := g.b
+	m := b.Temp()
+	st := b.Temp()
+	b.Li(m, 1)
+	b.Sll(m, m, id)
+	top := b.NewLabel("wown")
+	b.Label(top)
+	b.Sleep()
+	b.LoadMMIO(st, isa.RegADCStatus)
+	b.And(st, st, m)
+	b.Beqz(st, top)
+	b.StoreMMIO(m, isa.RegIRQPend)
+	b.Free(m, st)
+}
+
+// emitSubscribeOwnChannel subscribes the issuing core to its own channel.
+func (g *kgen) emitSubscribeOwnChannel(id *prog.Reg) {
+	b := g.b
+	m := b.Temp()
+	b.Li(m, 1)
+	b.Sll(m, m, id)
+	b.StoreMMIO(m, isa.RegIRQSub)
+	b.Free(m)
+}
+
+// produceBegin/produceEnd bracket one produced item (paper Fig. 3-a):
+// the proposed lowering registers with SINC and completes with SDEC; the
+// busy lowering relies on the consumer polling the counters.
+func (g *kgen) produceBegin(point string) {
+	if g.strat == stratSync {
+		g.b.Sinc(point)
+	}
+}
+
+func (g *kgen) produceEnd(point string) {
+	if g.strat == stratSync {
+		g.b.Sdec(point)
+	}
+}
+
+// consumerWait emits the consumer idiom around a data-availability check:
+// check() must branch to haveLabel when data is present. With the proposed
+// approach the core registers (SNOP), re-checks and clock-gates; with busy
+// waiting it spins.
+func (g *kgen) consumerWait(point string, check func(haveLabel string)) {
+	b := g.b
+	top := b.NewLabel("cwait")
+	have := b.NewLabel("chave")
+	b.Label(top)
+	if g.strat == stratSync {
+		b.Snop(point)
+	}
+	check(have)
+	if g.strat == stratSync {
+		b.Sleep()
+	}
+	b.J(top)
+	b.Label(have)
+}

@@ -1,0 +1,172 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/link"
+	"repro/internal/power"
+	"repro/internal/prog"
+)
+
+// buildMF generates the 3L-MF benchmark (paper Fig. 5-a): three-lead
+// morphological filtering. The multi-core mapping replicates one filter
+// phase over three cores sharing a single instruction bank; the only
+// synchronization is lock-step recovery around the data-dependent window
+// scans (Table I: no producer-consumer relationships).
+func buildMF(arch power.Arch) (*Variant, error) {
+	strat := stratFor(arch)
+	p := mfParams()
+	d := newDataGen()
+
+	// Output rings and counters: names sort adjacently so the linker
+	// places them contiguously, letting the replicated code index by
+	// core id.
+	for ch := 0; ch < 3; ch++ {
+		d.space(fmtSym("mf_cnt%d", ch), 1, -1)
+		d.space(fmtSym("mf_out%d", ch), OutRingLen, -1)
+	}
+	d.words("mf_cfg", []int16{1}) // soft enable, read each sample
+
+	if strat == stratSC {
+		b := prog.New("mf_sc")
+		g := &kgen{b: b, strat: strat}
+		var rings [3]mfRings
+		for ch := 0; ch < 3; ch++ {
+			rings[ch] = declareMFRings(d, fmtSym("mfr%d", ch), p, -1)
+		}
+		b.Label("mf_entry")
+		g.emitSubscribe(irqMaskAll)
+		s := b.Reg()
+		b.Li(s, 0)
+		b.LoopForever(func(skip string) {
+			g.emitWaitSample(irqMaskAll)
+			g.emitCfgGate("mf_cfg", skip)
+			x0, x1, x2 := b.Temp(), b.Temp(), b.Temp()
+			b.LoadMMIO(x0, adcDataAddr(0))
+			b.LoadMMIO(x1, adcDataAddr(1))
+			b.LoadMMIO(x2, adcDataAddr(2))
+			for ch, x := range []*prog.Reg{x0, x1, x2} {
+				y := b.Temp()
+				g.emitMF(y, x, s, rings[ch])
+				emitOutWrite(g, y, s, fmtSym("mf_out%d", ch), fmtSym("mf_cnt%d", ch))
+				b.Free(y)
+			}
+			b.Free(x0, x1, x2)
+			b.Addi(s, s, 1)
+		})
+		b.Halt()
+		if err := b.Err(); err != nil {
+			return nil, err
+		}
+		res, err := link.Build(link.Spec{
+			Sources:     map[string]string{"code": b.Source(), "data": d.source()},
+			CodeBanks:   map[string]int{"mf_sc": 0},
+			EntryLabels: []string{"mf_entry"},
+			SingleCore:  true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Variant{App: MF3L, Arch: arch, Cores: 1, Res: res}, nil
+	}
+
+	// Multi-core: one filter phase replicated on three cores. Rings live
+	// in private memory at identical logical addresses (ATU isolation).
+	b := prog.New("mf_filter")
+	g := &kgen{b: b, strat: strat, lockPoint: "PT_LOCK"}
+	d.equ("PT_LOCK", 0)
+	rings := declareMFRings(d, "mfr", p, 0)
+
+	b.Label("mf_entry")
+	id := b.Reg()
+	b.LoadMMIO(id, isa.RegCoreID)
+	g.emitSubscribeOwnChannel(id)
+	s := b.Reg()
+	b.Li(s, 0)
+	b.LoopForever(func(skip string) {
+		g.emitWaitSampleOwnChannel(id)
+		g.emitCfgGate("mf_cfg", skip)
+		x := b.Temp()
+		t := b.Temp()
+		b.Li(t, adcDataAddr(0))
+		b.Add(t, t, id)
+		b.Lw(x, t, 0)
+		b.Free(t)
+		y := b.Temp()
+		g.emitMF(y, x, s, rings)
+		b.Free(x)
+		emitOutWriteByCore(g, y, s, id, "mf_out0", "mf_cnt0")
+		b.Free(y)
+		b.Addi(s, s, 1)
+	})
+	b.Halt()
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	nsync := 1
+	if strat == stratBusy {
+		nsync = 0
+	}
+	res, err := link.Build(link.Spec{
+		Sources:       map[string]string{"code": b.Source(), "data": d.source()},
+		CodeBanks:     map[string]int{"mf_filter": 1},
+		PrivCore:      d.priv,
+		EntryLabels:   []string{"mf_entry", "mf_entry", "mf_entry"},
+		NumSyncPoints: nsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Variant{App: MF3L, Arch: arch, Cores: 3, Res: res}, nil
+}
+
+// emitOutWrite appends y to a named output ring and bumps its counter
+// (counter value = s+1 = samples produced).
+func emitOutWrite(g *kgen, y, s *prog.Reg, outSym, cntSym string) {
+	b := g.b
+	t := b.Temp()
+	tb := b.Temp()
+	b.AndMask(t, s, OutRingLen-1)
+	b.La(tb, outSym)
+	b.Add(tb, tb, t)
+	b.Sw(y, tb, 0)
+	b.Addi(t, s, 1)
+	b.La(tb, cntSym)
+	b.Sw(t, tb, 0)
+	b.Free(t, tb)
+}
+
+// emitOutWriteByCore indexes contiguous per-core output rings and counters
+// by the core id register: out[id][s & mask] = y; cnt[id] = s+1.
+func emitOutWriteByCore(g *kgen, y, s, id *prog.Reg, outBaseSym, cntBaseSym string) {
+	b := g.b
+	t := b.Temp()
+	tb := b.Temp()
+	off := b.Temp()
+	// out ring: base + id*OutRingLen + (s & mask)
+	b.Slli(off, id, shiftFor(OutRingLen))
+	b.AndMask(t, s, OutRingLen-1)
+	b.Add(off, off, t)
+	b.La(tb, outBaseSym)
+	b.Add(tb, tb, off)
+	b.Sw(y, tb, 0)
+	// counter: base + id
+	b.Addi(t, s, 1)
+	b.La(tb, cntBaseSym)
+	b.Add(tb, tb, id)
+	b.Sw(t, tb, 0)
+	b.Free(t, tb, off)
+}
+
+func shiftFor(n int) int {
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+func fmtSym(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

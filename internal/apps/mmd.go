@@ -1,0 +1,284 @@
+package apps
+
+import (
+	"repro/internal/isa"
+	"repro/internal/link"
+	"repro/internal/power"
+	"repro/internal/prog"
+)
+
+// buildMMD generates the 3L-MMD benchmark (paper Fig. 5-b): three leads are
+// conditioned in parallel, aggregated into a single stream and delineated
+// with multi-scale morphological derivatives. The multi-core mapping uses
+// five cores — three lock-step filters, a combiner and a delineator — and
+// exercises both synchronization modes: producer-consumer (Fig. 3-a) between
+// the stages and lock-step recovery (Fig. 3-b) within the filter phase.
+func buildMMD(arch power.Arch) (*Variant, error) {
+	strat := stratFor(arch)
+	mfp := mfParams()
+	mmp := mmdParams()
+	d := newDataGen()
+
+	// Shared stage buffers.
+	for ch := 0; ch < 3; ch++ {
+		d.space(fmtSym("mmd_cnt%d", ch), 1, -1)
+		d.space(fmtSym("mmd_out%d", ch), OutRingLen, -1)
+	}
+	d.space("mmd_comb", OutRingLen, -1)   // combined stream ring
+	d.space("mmd_ccnt", 1, -1)            // combined samples produced
+	d.space("mmd_dcnt", 1, -1)            // combined samples delineated
+	d.space("mmd_res", 3*ResultSlots, -1) // fiducial triples
+	d.space("mmd_rescnt", 1, -1)
+	d.words("mmd_cfg", []int16{1})
+	combRing := ring{sym: "mmd_comb", len: OutRingLen}
+
+	if strat == stratSC {
+		return buildMMDSC(d, mfp, mmp, combRing)
+	}
+
+	// --- filter phase: one segment replicated on cores 0-2 ---
+	fb := prog.New("mmd_filter")
+	fg := &kgen{b: fb, strat: strat, lockPoint: "PT_LOCK"}
+	d.equ("PT_LOCK", 2)
+	d.equ("PT_F2C", 0)
+	d.equ("PT_C2D", 1)
+	frings := declareMFRings(d, "mmdr", mfp, 0)
+
+	fb.Label("mmd_f_entry")
+	id := fb.Reg()
+	fb.LoadMMIO(id, isa.RegCoreID)
+	fg.emitSubscribeOwnChannel(id)
+	s := fb.Reg()
+	fb.Li(s, 0)
+	fb.LoopForever(func(skip string) {
+		fg.emitWaitSampleOwnChannel(id)
+		fg.emitCfgGate("mmd_cfg", skip)
+		// Register production for the combiner (Fig. 3-a).
+		fg.produceBegin("PT_F2C")
+		x := fb.Temp()
+		t := fb.Temp()
+		fb.Li(t, adcDataAddr(0))
+		fb.Add(t, t, id)
+		fb.Lw(x, t, 0)
+		fb.Free(t)
+		y := fb.Temp()
+		fg.emitMF(y, x, s, frings)
+		fb.Free(x)
+		emitOutWriteByCore(fg, y, s, id, "mmd_out0", "mmd_cnt0")
+		fb.Free(y)
+		fg.produceEnd("PT_F2C")
+		fb.Addi(s, s, 1)
+	})
+	fb.Halt()
+	if err := fb.Err(); err != nil {
+		return nil, err
+	}
+
+	// --- combiner: consumes the three conditioned streams ---
+	cb := prog.New("mmd_comb_code")
+	cg := &kgen{b: cb, strat: strat}
+	cb.Label("mmd_c_entry")
+	c := cb.Reg()
+	cb.Li(c, 0)
+	cb.LoopForever(func(string) {
+		cg.consumerWait("PT_F2C", func(have string) {
+			nope := cb.NewLabel("nodata")
+			t := cb.Temp()
+			base := cb.Temp()
+			cb.La(base, "mmd_cnt0")
+			for ch := 0; ch < 3; ch++ {
+				cb.Lw(t, base, ch)
+				cb.Beq(t, c, nope)
+			}
+			cb.Free(t, base)
+			cb.J(have)
+			cb.Label(nope)
+		})
+		// One sample from each lead at index c (the rings are placed
+		// contiguously, OutRingLen apart).
+		a, bb, cc := cb.Temp(), cb.Temp(), cb.Temp()
+		idx := cb.Temp()
+		base := cb.Temp()
+		cb.AndMask(idx, c, OutRingLen-1)
+		cb.La(base, "mmd_out0")
+		cb.Add(base, base, idx)
+		cb.Lw(a, base, 0)
+		cb.Li(idx, OutRingLen)
+		cb.Add(base, base, idx)
+		cb.Lw(bb, base, 0)
+		cb.Add(base, base, idx)
+		cb.Lw(cc, base, 0)
+		cb.Free(idx)
+		comb := cb.Temp()
+		cg.emitCombine3(comb, a, bb, cc)
+		cb.Free(a, bb, cc)
+		cg.produceBegin("PT_C2D")
+		cg.ringPush(c, comb, combRing)
+		cb.Free(comb)
+		t := cb.Temp()
+		cb.Addi(t, c, 1)
+		cb.La(base, "mmd_ccnt")
+		cb.Sw(t, base, 0)
+		cb.Free(t, base)
+		cg.produceEnd("PT_C2D")
+		cb.Addi(c, c, 1)
+	})
+	cb.Halt()
+	if err := cb.Err(); err != nil {
+		return nil, err
+	}
+
+	// --- delineator: consumes the combined stream ---
+	db := prog.New("mmd_delin_code")
+	dg := &kgen{b: db, strat: strat}
+	detRing := d.newRing("mmd_det", 64, 4)
+	d.space("mmd_st", stSlots, 4)
+	db.Label("mmd_d_entry")
+	cd := db.Reg()
+	db.Li(cd, 0)
+	dg.emitDetectorInit("mmd_st", mmp)
+	db.LoopForever(func(string) {
+		dg.consumerWait("PT_C2D", func(have string) {
+			t := db.Temp()
+			base := db.Temp()
+			db.La(base, "mmd_ccnt")
+			db.Lw(t, base, 0)
+			db.Bne(t, cd, have)
+			db.Free(t, base)
+		})
+		det := db.Temp()
+		dg.emitMMDStep(det, cd, combRing, mmp)
+		dg.ringPush(cd, det, detRing)
+		dg.emitDetectorStep(det, cd, detRing, "mmd_st", mmp, func(st *prog.Reg) {
+			dg.emitRecordTriple(st, "mmd_res", "mmd_rescnt", ResultSlots)
+		})
+		db.Free(det)
+		t := db.Temp()
+		base := db.Temp()
+		db.Addi(t, cd, 1)
+		db.La(base, "mmd_dcnt")
+		db.Sw(t, base, 0)
+		db.Free(t, base)
+		db.Addi(cd, cd, 1)
+	})
+	db.Halt()
+	if err := db.Err(); err != nil {
+		return nil, err
+	}
+
+	nsync := 3
+	if strat == stratBusy {
+		nsync = 0
+	}
+	res, err := link.Build(link.Spec{
+		Sources: map[string]string{
+			"filter": fb.Source(),
+			"comb":   cb.Source(),
+			"delin":  db.Source(),
+			"data":   d.source(),
+		},
+		CodeBanks: map[string]int{
+			"mmd_filter":     1, // three cores share this bank (broadcast)
+			"mmd_comb_code":  2,
+			"mmd_delin_code": 3,
+		},
+		PrivCore: d.priv,
+		EntryLabels: []string{
+			"mmd_f_entry", "mmd_f_entry", "mmd_f_entry",
+			"mmd_c_entry", "mmd_d_entry",
+		},
+		NumSyncPoints: nsync,
+		// Four 2K-word stage rings: widen the shared section (the
+		// threshold between shared and private sections is a mapping
+		// directive, paper §III-B step 3).
+		SharedLimit: 0x3000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Variant{App: MMD3L, Arch: arch, Cores: 5, Res: res}, nil
+}
+
+// buildMMDSC lowers the same pipeline sequentially for the baseline.
+func buildMMDSC(d *dataGen, mfp dspMF, mmp dspMMD, combRing ring) (*Variant, error) {
+	b := prog.New("mmd_sc")
+	g := &kgen{b: b, strat: stratSC}
+	var rings [3]mfRings
+	for ch := 0; ch < 3; ch++ {
+		rings[ch] = declareMFRings(d, fmtSym("mmdr%d", ch), mfp, -1)
+	}
+	detRing := d.newRing("mmd_det", 64, -1)
+	d.space("mmd_st", stSlots, -1)
+
+	b.Label("mmd_entry")
+	g.emitSubscribe(irqMaskAll)
+	g.emitDetectorInit("mmd_st", mmp)
+	s := b.Reg()
+	b.Li(s, 0)
+	b.LoopForever(func(skip string) {
+		g.emitWaitSample(irqMaskAll)
+		g.emitCfgGate("mmd_cfg", skip)
+		// Condition each lead, parking the results in the output rings
+		// (the combiner below re-reads them, like the multi-core stage).
+		for ch := 0; ch < 3; ch++ {
+			x := b.Temp()
+			y := b.Temp()
+			b.LoadMMIO(x, adcDataAddr(ch))
+			g.emitMF(y, x, s, rings[ch])
+			emitOutWrite(g, y, s, fmtSym("mmd_out%d", ch), fmtSym("mmd_cnt%d", ch))
+			b.Free(x, y)
+		}
+		a, bb, cc := b.Temp(), b.Temp(), b.Temp()
+		idx := b.Temp()
+		base := b.Temp()
+		b.AndMask(idx, s, OutRingLen-1)
+		b.La(base, "mmd_out0")
+		b.Add(base, base, idx)
+		b.Lw(a, base, 0)
+		b.Li(idx, OutRingLen)
+		b.Add(base, base, idx)
+		b.Lw(bb, base, 0)
+		b.Add(base, base, idx)
+		b.Lw(cc, base, 0)
+		b.Free(idx, base)
+		comb := b.Temp()
+		g.emitCombine3(comb, a, bb, cc)
+		b.Free(a, bb, cc)
+		g.ringPush(s, comb, combRing)
+		b.Free(comb)
+		t := b.Temp()
+		base = b.Temp()
+		b.Addi(t, s, 1)
+		b.La(base, "mmd_ccnt")
+		b.Sw(t, base, 0)
+		b.Free(t, base)
+		det := b.Temp()
+		g.emitMMDStep(det, s, combRing, mmp)
+		g.ringPush(s, det, detRing)
+		g.emitDetectorStep(det, s, detRing, "mmd_st", mmp, func(st *prog.Reg) {
+			g.emitRecordTriple(st, "mmd_res", "mmd_rescnt", ResultSlots)
+		})
+		b.Free(det)
+		t = b.Temp()
+		base = b.Temp()
+		b.Addi(t, s, 1)
+		b.La(base, "mmd_dcnt")
+		b.Sw(t, base, 0)
+		b.Free(t, base)
+		b.Addi(s, s, 1)
+	})
+	b.Halt()
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	res, err := link.Build(link.Spec{
+		Sources:     map[string]string{"code": b.Source(), "data": d.source()},
+		CodeBanks:   map[string]int{"mmd_sc": 0},
+		EntryLabels: []string{"mmd_entry"},
+		SingleCore:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Variant{App: MMD3L, Arch: power.SC, Cores: 1, Res: res}, nil
+}

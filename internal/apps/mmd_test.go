@@ -1,0 +1,184 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/ecg"
+	"repro/internal/power"
+)
+
+// goldenMMD computes the reference combined stream and streamed fiducials
+// for the first n samples.
+func goldenMMD(sig *ecg.Signal, n int) ([]int16, []dsp.Fiducials) {
+	mfp := dsp.DefaultMFParams()
+	var cond [3][]int16
+	for ch := 0; ch < 3; ch++ {
+		cond[ch] = dsp.MorphFilter(sig.Leads[ch][:n], mfp)
+	}
+	comb := make([]int16, n)
+	for i := 0; i < n; i++ {
+		comb[i] = dsp.Combine3(cond[0][i], cond[1][i], cond[2][i])
+	}
+	return comb, dsp.DelineateStreamed(comb, dsp.DefaultMMDParams())
+}
+
+// runMMD builds and runs one variant until at least n samples are combined
+// and delineated.
+func runMMD(t *testing.T, arch power.Arch, sig *ecg.Signal, n int) (*Variant, []int16, []dsp.Fiducials) {
+	t.Helper()
+	v, err := Build(MMD3L, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := v.NewPlatform(sig, 4e6, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := uint64(float64(n+8) / SampleRateHz * 4e6)
+	if err := p.Run(cycles); err != nil {
+		t.Fatalf("%v run: %v", arch, err)
+	}
+	if p.Overruns() != 0 {
+		t.Fatalf("%v: %d overruns", arch, p.Overruns())
+	}
+	if len(p.Violations()) != 0 {
+		t.Fatalf("%v: %v", arch, p.Violations())
+	}
+	dcnt, err := v.ReadWord(p, "mmd_dcnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(dcnt) < n {
+		t.Fatalf("%v: delineated %d samples, want >= %d", arch, dcnt, n)
+	}
+	comb, err := v.ReadRing(p, "mmd_comb", OutRingLen, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescnt, err := v.ReadWord(p, "mmd_rescnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.ReadRing(p, "mmd_res", 3*ResultSlots, int(rescnt)*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fids []dsp.Fiducials
+	for i := 0; i+2 < len(res); i += 3 {
+		fids = append(fids, dsp.Fiducials{Onset: int(uint16(res[i])), Peak: int(uint16(res[i+1])), Offset: int(uint16(res[i+2]))})
+	}
+	return v, comb, fids
+}
+
+// compareMMD verifies the combined stream word-for-word and the fiducial
+// list. The simulated delineator may have processed a few samples past n, so
+// it may report up to a couple more trailing fiducials; every golden
+// fiducial must be present as a prefix.
+func compareMMD(t *testing.T, arch power.Arch, comb []int16, fids []dsp.Fiducials, wantComb []int16, wantFids []dsp.Fiducials) {
+	t.Helper()
+	for i := range wantComb {
+		if comb[i] != wantComb[i] {
+			t.Fatalf("%v: combined[%d] = %d, want %d", arch, i, comb[i], wantComb[i])
+		}
+	}
+	if len(fids) < len(wantFids) {
+		t.Fatalf("%v: %d fiducials reported, want >= %d", arch, len(fids), len(wantFids))
+	}
+	for i, w := range wantFids {
+		if fids[i] != w {
+			t.Fatalf("%v: fiducial %d = %+v, want %+v", arch, i, fids[i], w)
+		}
+	}
+	if len(fids) > len(wantFids)+2 {
+		t.Errorf("%v: %d extra fiducials beyond golden %d", arch, len(fids)-len(wantFids), len(wantFids))
+	}
+}
+
+func TestMMDSCMatchesGolden(t *testing.T) {
+	sig := testSignal(t, 5, 0)
+	const n = 1000
+	_, comb, fids := runMMD(t, power.SC, sig, n)
+	wantComb, wantFids := goldenMMD(sig, n)
+	if len(wantFids) < 3 {
+		t.Fatalf("degenerate golden: only %d fiducials", len(wantFids))
+	}
+	compareMMD(t, power.SC, comb, fids, wantComb, wantFids)
+}
+
+func TestMMDMCMatchesGolden(t *testing.T) {
+	sig := testSignal(t, 5, 0)
+	const n = 1000
+	_, comb, fids := runMMD(t, power.MC, sig, n)
+	wantComb, wantFids := goldenMMD(sig, n)
+	compareMMD(t, power.MC, comb, fids, wantComb, wantFids)
+}
+
+func TestMMDMCNoSyncMatchesGolden(t *testing.T) {
+	sig := testSignal(t, 4, 0)
+	const n = 700
+	_, comb, fids := runMMD(t, power.MCNoSync, sig, n)
+	wantComb, wantFids := goldenMMD(sig, n)
+	compareMMD(t, power.MCNoSync, comb, fids, wantComb, wantFids)
+}
+
+func TestMMDDetectsBeatsNearTruth(t *testing.T) {
+	sig := testSignal(t, 5, 0)
+	const n = 1000
+	_, _, fids := runMMD(t, power.MC, sig, n)
+	delay := dsp.DefaultMFParams().TotalDelay()
+	matched := 0
+	for _, b := range sig.Beats {
+		want := b.RPeak + delay
+		if want >= n {
+			continue
+		}
+		for _, f := range fids {
+			if abs(f.Peak-want) <= 10 {
+				matched++
+				break
+			}
+		}
+	}
+	if matched < 3 {
+		t.Errorf("only %d beats matched ground truth", matched)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMMDMCStructure(t *testing.T) {
+	v, err := Build(MMD3L, power.MC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cores != 5 {
+		t.Errorf("cores = %d, want 5 (paper Table I)", v.Cores)
+	}
+	sig := testSignal(t, 1, 0)
+	p, err := v.NewPlatform(sig, 1e6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ActiveIMBanks(); got != 3 {
+		t.Errorf("active IM banks = %d, want 3 (filter shared + combiner + delineator)", got)
+	}
+	if pct := v.Res.Image.CodeOverheadPct(); pct <= 0 || pct > 6 {
+		t.Errorf("code overhead = %.2f%%", pct)
+	}
+	// 3L-MMD sync share must be lower than 3L-MF's: same sync count over
+	// a larger binary (paper: 0.92% vs 2.57%).
+	vmf, err := Build(MF3L, power.MC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Res.Image.CodeOverheadPct() >= vmf.Res.Image.CodeOverheadPct() {
+		t.Errorf("MMD code overhead %.2f%% should be below MF's %.2f%%",
+			v.Res.Image.CodeOverheadPct(), vmf.Res.Image.CodeOverheadPct())
+	}
+}

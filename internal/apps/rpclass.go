@@ -1,0 +1,914 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/ecg"
+	"repro/internal/isa"
+	"repro/internal/link"
+	"repro/internal/power"
+	"repro/internal/prog"
+)
+
+// Classifier state-slot layout.
+const (
+	clsPrev  = 0 // previous conditioned sample (beat detector)
+	clsLast  = 1 // last beat index (refractory)
+	clsPendR = 2 // pending beat index awaiting its window
+	clsPendA = 3 // pending flag
+	clsSlots = 4
+)
+
+// SC chain-interleave state slots.
+const (
+	segAct   = 0 // a segment is being processed
+	segK     = 1 // next segment sample
+	segR     = 2 // descriptor (beat index) of the active segment
+	segDone  = 3 // segments completed
+	segY0    = 4 // scratch: conditioned lead-0 sample of the current k
+	segY1    = 5 // scratch: conditioned lead-1 sample
+	segSlots = 6
+)
+
+// trainedCentroids computes the embedded classifier tables from a dedicated
+// synthetic training record, substituting the paper's pre-trained model.
+func trainedCentroids(rp dsp.RPParams, mat [][]int16) (dsp.Centroids, error) {
+	cfg := ecg.DefaultConfig()
+	cfg.Seed = 7777
+	cfg.PathologicalFrac = 0.3
+	sig, err := ecg.Synthesize(cfg, 120)
+	if err != nil {
+		return dsp.Centroids{}, err
+	}
+	mfp := dsp.DefaultMFParams()
+	cond := dsp.MorphFilter(sig.Leads[0], mfp)
+	delay := mfp.TotalDelay()
+	var beats []int
+	var labels []bool
+	for _, b := range sig.Beats {
+		beats = append(beats, b.RPeak+delay)
+		labels = append(labels, b.Pathological)
+	}
+	return dsp.TrainCentroids(cond, beats, labels, mat, rp)
+}
+
+// declareRPData declares the buffers shared by every RP-CLASS lowering.
+func declareRPData(d *dataGen, rp dsp.RPParams) error {
+	mat := dsp.RPMatrix(rp)
+	cents, err := trainedCentroids(rp, mat)
+	if err != nil {
+		return err
+	}
+	flat := make([]int16, 0, rp.K*rp.Window)
+	for _, row := range mat {
+		flat = append(flat, row...)
+	}
+	d.words("rp_mat", flat)
+	d.words("rp_centn", cents.Normal)
+	d.words("rp_centp", cents.Patho)
+	d.words("rp_cfg", []int16{1})
+	for ch := 0; ch < 3; ch++ {
+		d.space(fmtSym("rp_rawa%d", ch), RawRingLen, -1)
+		d.space(fmtSym("rp_sega%d", ch), SegLen, -1)
+		d.space(fmtSym("rp_scnt%d", ch), 1, -1)
+	}
+	d.space("rp_c0", OutRingLen, -1)
+	d.space("rp_acnt", 1, -1)
+	d.space("rp_beats", 2*ResultSlots, -1)
+	d.space("rp_bcnt", 1, -1)
+	d.space("rp_desc", DescQueueLen, -1)
+	d.space("rp_dcnt", 1, -1)
+	d.space("rp_delres", 4*64, -1)
+	d.space("rp_delcnt", 1, -1)
+	return nil
+}
+
+// emitBeatDetect advances the streaming beat detector (dsp.DetectPeaks): at
+// stream index c with conditioned sample v, a beat fires at c-1 when
+// prev >= thr, v < prev and the refractory has elapsed; it is parked in the
+// pending slots for classification once its window completes.
+func emitBeatDetect(g *kgen, c, v *prog.Reg, stSym string, rp dsp.RPParams) {
+	b := g.b
+	st := b.Temp()
+	prev := b.Temp()
+	b.La(st, stSym)
+	b.Lw(prev, st, clsPrev)
+	b.IfNe(c, prog.Zero, func() {
+		thr := b.Temp()
+		b.Li(thr, int(rp.BeatThr))
+		b.IfGe(prev, thr, func() {
+			b.IfLt(v, prev, func() {
+				r := b.Temp()
+				t := b.Temp()
+				b.Addi(r, c, -1)
+				b.Lw(t, st, clsLast)
+				b.Sub(t, r, t)
+				b.Li(thr, rp.Refractory+1)
+				b.IfGe(t, thr, func() {
+					b.Sw(r, st, clsLast)
+					b.Sw(r, st, clsPendR)
+					one := b.Temp()
+					b.Li(one, 1)
+					b.Sw(one, st, clsPendA)
+					b.Free(one)
+				}, nil)
+				b.Free(r, t)
+			}, nil)
+		}, nil)
+		b.Free(thr)
+	}, nil)
+	b.Sw(v, st, clsPrev)
+	b.Free(st, prev)
+}
+
+// emitClassify projects the pending beat's window and labels it by nearest
+// centroid (dsp.Project / dsp.Classify), records the (index, label) pair and
+// — for pathological beats — enqueues a descriptor and kicks the delineation
+// chain. doneSym supplies the chain's completion count for the queue-full
+// check; kick is invoked after a successful enqueue (nil for busy lowering).
+func emitClassify(g *kgen, pr *prog.Reg, rp dsp.RPParams, ybufSym, doneSym string, kick func()) {
+	b := g.b
+	c0 := ring{sym: "rp_c0", len: OutRingLen}
+
+	// Projection: y[k] = (sum of +-window samples >> InShift) >> ProjShift.
+	mp := b.Temp()
+	yb := b.Temp()
+	kk := b.Temp()
+	b.La(mp, "rp_mat")
+	b.La(yb, ybufSym)
+	b.Li(kk, 0)
+	kTop := b.NewLabel("proj")
+	b.Label(kTop)
+	{
+		acc := b.Temp()
+		jj := b.Temp()
+		ww := b.Temp()
+		b.Li(acc, 0)
+		b.Addi(jj, pr, -rp.Pre)
+		b.Li(ww, rp.Window)
+		wTop := b.NewLabel("mac")
+		b.Label(wTop)
+		{
+			xv := b.Temp()
+			m := b.Temp()
+			g.ringAt(xv, jj, 0, c0)
+			b.Srai(xv, xv, rp.InShift)
+			b.Lw(m, mp, 0)
+			b.Addi(mp, mp, 1)
+			neg := b.NewLabel("neg")
+			done := b.NewLabel("macd")
+			b.Blt(m, prog.Zero, neg)
+			b.Add(acc, acc, xv)
+			b.J(done)
+			b.Label(neg)
+			b.Sub(acc, acc, xv)
+			b.Label(done)
+			b.Free(xv, m)
+		}
+		b.Addi(jj, jj, 1)
+		b.Addi(ww, ww, -1)
+		b.Bnez(ww, wTop)
+		b.Srai(acc, acc, rp.ProjShift)
+		b.Add(jj, yb, kk) // reuse jj as address
+		b.Sw(acc, jj, 0)
+		b.Free(acc, jj, ww)
+	}
+	b.Addi(kk, kk, 1)
+	t := b.Temp()
+	b.Li(t, rp.K)
+	b.Blt(kk, t, kTop)
+	b.Free(t, mp)
+
+	// Distances to the two centroids (L1).
+	dN := b.Temp()
+	dP := b.Temp()
+	cn := b.Temp()
+	cp := b.Temp()
+	b.Li(dN, 0)
+	b.Li(dP, 0)
+	b.La(cn, "rp_centn")
+	b.La(cp, "rp_centp")
+	b.Li(kk, 0)
+	dTop := b.NewLabel("dist")
+	b.Label(dTop)
+	{
+		y := b.Temp()
+		a := b.Temp()
+		diff := b.Temp()
+		b.Add(a, yb, kk)
+		b.Lw(y, a, 0)
+		b.Add(a, cn, kk)
+		b.Lw(a, a, 0)
+		b.Sub(diff, y, a)
+		b.Abs(diff, diff)
+		b.Add(dN, dN, diff)
+		b.Add(a, cp, kk)
+		b.Lw(a, a, 0)
+		b.Sub(diff, y, a)
+		b.Abs(diff, diff)
+		b.Add(dP, dP, diff)
+		b.Free(y, a, diff)
+	}
+	b.Addi(kk, kk, 1)
+	t = b.Temp()
+	b.Li(t, rp.K)
+	b.Blt(kk, t, dTop)
+	b.Free(t, kk, yb, cn, cp)
+
+	lab := b.Temp()
+	b.Slt(lab, dP, dN) // pathological when closer to the patho centroid
+	b.Free(dN, dP)
+
+	// Record the beat (index, label).
+	{
+		bc := b.Temp()
+		base := b.Temp()
+		t := b.Temp()
+		b.La(base, "rp_bcnt")
+		b.Lw(bc, base, 0)
+		b.Addi(t, bc, 1)
+		b.Sw(t, base, 0)
+		b.AndMask(bc, bc, ResultSlots-1)
+		b.Slli(bc, bc, 1)
+		b.La(base, "rp_beats")
+		b.Add(base, base, bc)
+		b.Sw(pr, base, 0)
+		b.Sw(lab, base, 1)
+		b.Free(bc, base, t)
+	}
+
+	// Pathological: enqueue a descriptor and wake the chain.
+	b.IfNez(lab, func() {
+		dc := b.Temp()
+		base := b.Temp()
+		t := b.Temp()
+		b.La(base, "rp_dcnt")
+		b.Lw(dc, base, 0)
+		// Queue-full guard: outstanding = dcnt - done < DescQueueLen.
+		b.La(t, doneSym)
+		b.Lw(t, t, 0)
+		b.Sub(t, dc, t)
+		full := b.Temp()
+		b.Li(full, DescQueueLen)
+		b.IfLt(t, full, func() {
+			b.AndMask(t, dc, DescQueueLen-1)
+			b.La(full, "rp_desc")
+			b.Add(full, full, t)
+			b.Sw(pr, full, 0)
+			b.Addi(t, dc, 1)
+			b.Sw(t, base, 0)
+			if kick != nil {
+				kick()
+			}
+		}, func() {
+			// Saturating queue: drop and report.
+			b.StoreMMIOImm(0xE1, isa.RegDebugErr)
+		})
+		b.Free(dc, base, t, full)
+	}, nil)
+	b.Free(lab)
+}
+
+// emitClassifierStep runs detection plus the delayed classification trigger
+// for stream index c with conditioned sample v. It takes ownership of v
+// (classification needs every register the pool can spare).
+func emitClassifierStep(g *kgen, c, v *prog.Reg, stSym, ybufSym, doneSym string, rp dsp.RPParams, kick func()) {
+	b := g.b
+	emitBeatDetect(g, c, v, stSym, rp)
+	b.Free(v)
+
+	// Manual branch structure keeps the live set minimal around the large
+	// classification body (branch-over-jump for range safety).
+	endL := b.NewLabel("clsend")
+	st := b.Temp()
+	pa := b.Temp()
+	b.La(st, stSym)
+	b.Lw(pa, st, clsPendA)
+	{
+		cont := b.NewLabel("clsp")
+		b.Bnez(pa, cont)
+		b.J(endL)
+		b.Label(cont)
+	}
+	b.Free(pa)
+	pr := b.Temp()
+	t := b.Temp()
+	b.Lw(pr, st, clsPendR)
+	b.Addi(t, pr, TriggerDelay)
+	{
+		cont := b.NewLabel("clst")
+		b.Beq(c, t, cont)
+		b.J(endL)
+		b.Label(cont)
+	}
+	b.Free(t)
+	b.Sw(prog.Zero, st, clsPendA)
+	b.Free(st)
+	emitClassify(g, pr, rp, ybufSym, doneSym, kick)
+	b.Free(pr)
+	b.Label(endL)
+}
+
+// buildRPClass generates the RP-CLASS benchmark (paper Fig. 5-c): a
+// single-lead heartbeat classifier that activates a three-lead delineation
+// chain only for pathological beats — the paper's showcase for combined
+// control and data flow with non-uniform workload.
+func buildRPClass(arch power.Arch) (*Variant, error) {
+	strat := stratFor(arch)
+	mfp := mfParams()
+	mmp := chainMMDParams()
+	rp := rpParams()
+	d := newDataGen()
+	if err := declareRPData(d, rp); err != nil {
+		return nil, err
+	}
+
+	if strat == stratSC {
+		return buildRPClassSC(d, mfp, mmp, rp)
+	}
+
+	d.equ("PT_A", 0)
+	d.equ("PT_B", 1)
+	d.equ("PT_C", 2)
+	d.equ("PT_LOCK", 3)
+
+	// --- core 0: acquisition + lead-0 conditioning ---
+	ab := prog.New("rp_cond")
+	ag := &kgen{b: ab, strat: strat}
+	condRings := declareMFRings(d, "rp_mfr", mfp, 0)
+	c0 := ring{sym: "rp_c0", len: OutRingLen}
+	raw := [3]ring{
+		{sym: "rp_rawa0", len: RawRingLen},
+		{sym: "rp_rawa1", len: RawRingLen},
+		{sym: "rp_rawa2", len: RawRingLen},
+	}
+	ab.Label("rp_a_entry")
+	ag.emitSubscribe(irqMaskAll)
+	s := ab.Reg()
+	ab.Li(s, 0)
+	ab.LoopForever(func(skip string) {
+		ag.emitWaitSample(irqMaskAll)
+		ag.emitCfgGate("rp_cfg", skip)
+		ag.produceBegin("PT_A")
+		x0 := ab.Temp()
+		b1 := ab.Temp()
+		ab.LoadMMIO(x0, adcDataAddr(0))
+		ab.LoadMMIO(b1, adcDataAddr(1))
+		ag.ringPush(s, b1, raw[1])
+		ab.LoadMMIO(b1, adcDataAddr(2))
+		ag.ringPush(s, b1, raw[2])
+		ab.Free(b1)
+		ag.ringPush(s, x0, raw[0])
+		y := ab.Temp()
+		ag.emitMF(y, x0, s, condRings)
+		ab.Free(x0)
+		ag.ringPush(s, y, c0)
+		ab.Free(y)
+		t := ab.Temp()
+		base := ab.Temp()
+		ab.Addi(t, s, 1)
+		ab.La(base, "rp_acnt")
+		ab.Sw(t, base, 0)
+		ab.Free(t, base)
+		ag.produceEnd("PT_A")
+		ab.Addi(s, s, 1)
+	})
+	ab.Halt()
+	if err := ab.Err(); err != nil {
+		return nil, err
+	}
+
+	// --- core 1: beat detection + classification ---
+	cb := prog.New("rp_cls")
+	cg := &kgen{b: cb, strat: strat}
+	d.space("rp_cls_st", clsSlots, 1)
+	d.space("rp_ybuf", rp.K, 1)
+	cb.Label("rp_c_entry")
+	// Initialize the refractory state.
+	{
+		st := cb.Temp()
+		t := cb.Temp()
+		cb.La(st, "rp_cls_st")
+		for i := 0; i < clsSlots; i++ {
+			cb.Sw(prog.Zero, st, i)
+		}
+		cb.Li(t, -(rp.Refractory + 1))
+		cb.Sw(t, st, clsLast)
+		cb.Free(st, t)
+	}
+	c := cb.Reg()
+	cb.Li(c, 0)
+	cb.LoopForever(func(string) {
+		cg.consumerWait("PT_A", func(have string) {
+			t := cb.Temp()
+			base := cb.Temp()
+			cb.La(base, "rp_acnt")
+			cb.Lw(t, base, 0)
+			cb.Bne(t, c, have)
+			cb.Free(t, base)
+		})
+		v := cb.Temp()
+		cg.ringAt(v, c, 0, c0)
+		emitClassifierStep(cg, c, v, "rp_cls_st", "rp_ybuf", "rp_scnt0", rp, func() {
+			if strat == stratSync {
+				cb.Sinc("PT_B")
+				cb.Sdec("PT_B")
+			}
+		})
+		cb.Addi(c, c, 1)
+	})
+	cb.Halt()
+	if err := cb.Err(); err != nil {
+		return nil, err
+	}
+
+	// --- cores 2-4: on-demand segment conditioning (lock-step group) ---
+	hb := prog.New("rp_chain")
+	hg := &kgen{b: hb, strat: strat, lockPoint: "PT_LOCK"}
+	chainRings := declareMFRings(d, "rp_chr", chainMFParams(), 2)
+	d.space("rp_ch_slots", 2, 2) // 0: raw base, 1: seg base (per core)
+	hb.Label("rp_h_entry")
+	{
+		id := hb.Temp()
+		t := hb.Temp()
+		base := hb.Temp()
+		hb.LoadMMIO(id, isa.RegCoreID)
+		hb.Addi(id, id, -2) // lead index
+		hb.La(base, "rp_ch_slots")
+		hb.La(t, "rp_rawa0")
+		lead2k := hb.Temp()
+		hb.Slli(lead2k, id, shiftFor(RawRingLen))
+		hb.Add(t, t, lead2k)
+		hb.Sw(t, base, 0)
+		// seg base = rp_sega0 + lead*SegLen
+		hb.La(t, "rp_sega0")
+		hb.Li(lead2k, SegLen)
+		hb.Mul(lead2k, lead2k, id)
+		hb.Add(t, t, lead2k)
+		hb.Sw(t, base, 1)
+		// completion counter address differs per lead: keep lead around
+		// via the scnt write below recomputing from CoreID.
+		hb.Free(id, t, base, lead2k)
+	}
+	kdone := hb.Reg()
+	hb.Li(kdone, 0)
+	hb.LoopForever(func(string) {
+		hg.consumerWait("PT_B", func(have string) {
+			t := hb.Temp()
+			base := hb.Temp()
+			hb.La(base, "rp_dcnt")
+			hb.Lw(t, base, 0)
+			hb.Bne(t, kdone, have)
+			hb.Free(t, base)
+		})
+		hg.emitResetRings(chainRings)
+		r := hb.Reg()
+		{
+			t := hb.Temp()
+			base := hb.Temp()
+			hb.AndMask(t, kdone, DescQueueLen-1)
+			hb.La(base, "rp_desc")
+			hb.Add(base, base, t)
+			hb.Lw(r, base, 0)
+			hb.Free(t, base)
+		}
+		// Wait until the acquisition core has published the whole raw
+		// segment (acnt > r + SegPost): the per-sample PT_A events wake
+		// us for the re-check.
+		hg.consumerWait("PT_A", func(have string) {
+			t := hb.Temp()
+			lim := hb.Temp()
+			hb.La(t, "rp_acnt")
+			hb.Lw(t, t, 0)
+			hb.Sub(t, t, r)
+			hb.Li(lim, SegPost+1)
+			hb.Bge(t, lim, have)
+			hb.Free(t, lim)
+		})
+		hg.produceBegin("PT_C")
+		k := hb.Reg()
+		hb.Li(k, 0)
+		kTop := hb.NewLabel("seg")
+		hb.Label(kTop)
+		{
+			xr := hb.Temp()
+			t := hb.Temp()
+			// j = r - SegPre + k, raw sample of this core's lead
+			hb.Add(t, r, k)
+			hb.Addi(t, t, -(SegPre + RawOffset))
+			hb.AndMask(t, t, RawRingLen-1)
+			base := hb.Temp()
+			hb.La(base, "rp_ch_slots")
+			hb.Lw(base, base, 0)
+			hb.Add(base, base, t)
+			hb.Lw(xr, base, 0)
+			hb.Free(base, t)
+			y := hb.Temp()
+			hg.emitMF(y, xr, k, chainRings)
+			hb.Free(xr)
+			t = hb.Temp()
+			hb.La(t, "rp_ch_slots")
+			hb.Lw(t, t, 1)
+			hb.Add(t, t, k)
+			hb.Sw(y, t, 0)
+			hb.Free(t, y)
+		}
+		hb.Addi(k, k, 1)
+		{
+			t := hb.Temp()
+			hb.Li(t, SegLen)
+			hb.Blt(k, t, kTop)
+			hb.Free(t)
+		}
+		hb.Free(k)
+		// completion: rp_scnt[lead] = kdone+1
+		{
+			id := hb.Temp()
+			t := hb.Temp()
+			hb.LoadMMIO(id, isa.RegCoreID)
+			hb.Addi(id, id, -2)
+			hb.La(t, "rp_scnt0")
+			hb.Add(t, t, id)
+			hb.Addi(id, kdone, 1)
+			hb.Sw(id, t, 0)
+			hb.Free(id, t)
+		}
+		hg.produceEnd("PT_C")
+		hb.Free(r)
+		hb.Addi(kdone, kdone, 1)
+	})
+	hb.Halt()
+	if err := hb.Err(); err != nil {
+		return nil, err
+	}
+
+	// --- core 5: segment combination + delineation ---
+	db := prog.New("rp_delin")
+	dg := &kgen{b: db, strat: strat}
+	combSeg := d.newRing("rp_combseg", 16, 5)
+	detRing := d.newRing("rp_det", 64, 5)
+	d.space("rp_del_st", stSlots, 5)
+	db.Label("rp_d_entry")
+	ddone := db.Reg()
+	db.Li(ddone, 0)
+	db.LoopForever(func(string) {
+		dg.consumerWait("PT_C", func(have string) {
+			nope := db.NewLabel("nseg")
+			t := db.Temp()
+			base := db.Temp()
+			db.La(base, "rp_scnt0")
+			for ch := 0; ch < 3; ch++ {
+				db.Lw(t, base, ch)
+				db.Beq(t, ddone, nope)
+			}
+			db.Free(t, base)
+			db.J(have)
+			db.Label(nope)
+		})
+		dg.emitDetectorInit("rp_del_st", mmp)
+		dg.emitMemset(combSeg.sym, combSeg.len)
+		dg.emitMemset(detRing.sym, detRing.len)
+		k := db.Reg()
+		db.Li(k, 0)
+		kTop := db.NewLabel("dseg")
+		db.Label(kTop)
+		{
+			a, bb, cc := db.Temp(), db.Temp(), db.Temp()
+			base := db.Temp()
+			t := db.Temp()
+			db.La(base, "rp_sega0")
+			db.Add(base, base, k)
+			db.Lw(a, base, 0)
+			db.Li(t, SegLen)
+			db.Add(base, base, t)
+			db.Lw(bb, base, 0)
+			db.Add(base, base, t)
+			db.Lw(cc, base, 0)
+			db.Free(base, t)
+			comb := db.Temp()
+			dg.emitCombine3(comb, a, bb, cc)
+			db.Free(a, bb, cc)
+			dg.ringPush(k, comb, combSeg)
+			db.Free(comb)
+			det := db.Temp()
+			dg.emitMMDStep(det, k, combSeg, mmp)
+			dg.ringPush(k, det, detRing)
+			dg.emitDetectorStep(det, k, detRing, "rp_del_st", mmp, func(st *prog.Reg) {
+				emitDelRecord(dg, st, ddone)
+			})
+			db.Free(det)
+		}
+		db.Addi(k, k, 1)
+		{
+			t := db.Temp()
+			db.Li(t, SegLen)
+			db.Blt(k, t, kTop)
+			db.Free(t)
+		}
+		db.Free(k)
+		db.Addi(ddone, ddone, 1)
+	})
+	db.Halt()
+	if err := db.Err(); err != nil {
+		return nil, err
+	}
+
+	nsync := 4
+	if strat == stratBusy {
+		nsync = 0
+	}
+	res, err := link.Build(link.Spec{
+		Sources: map[string]string{
+			"cond": ab.Source(), "cls": cb.Source(),
+			"chain": hb.Source(), "delin": db.Source(),
+			"data": d.source(),
+		},
+		CodeBanks: map[string]int{
+			"rp_cond": 1, "rp_cls": 2, "rp_chain": 3, "rp_delin": 4,
+		},
+		PrivCore: d.priv,
+		EntryLabels: []string{
+			"rp_a_entry", "rp_c_entry",
+			"rp_h_entry", "rp_h_entry", "rp_h_entry",
+			"rp_d_entry",
+		},
+		NumSyncPoints: nsync,
+		SharedLimit:   0x3800,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Variant{App: RPClass, Arch: arch, Cores: 6, Res: res}, nil
+}
+
+// emitDelRecord appends {descriptor, onset, peak, offset} (segment-relative
+// indices) to the delineation results.
+func emitDelRecord(g *kgen, st, ddone *prog.Reg) {
+	b := g.b
+	rc := b.Temp()
+	base := b.Temp()
+	t := b.Temp()
+	b.La(base, "rp_delcnt")
+	b.Lw(rc, base, 0)
+	b.Addi(t, rc, 1)
+	b.Sw(t, base, 0)
+	b.AndMask(rc, rc, 63)
+	b.Slli(rc, rc, 2)
+	b.La(base, "rp_delres")
+	b.Add(base, base, rc)
+	// the triggering descriptor
+	b.AndMask(t, ddone, DescQueueLen-1)
+	b.La(rc, "rp_desc")
+	b.Add(rc, rc, t)
+	b.Lw(t, rc, 0)
+	b.Sw(t, base, 0)
+	b.Lw(t, st, stOnset)
+	b.Sw(t, base, 1)
+	b.Lw(t, st, stPeakAt)
+	b.Sw(t, base, 2)
+	b.Lw(t, st, stOffset)
+	b.Sw(t, base, 3)
+	b.Free(rc, base, t)
+}
+
+// emitDelRecordFromSlot is emitDelRecord for the sequential lowering: the
+// active descriptor index is fetched from the segment-state block instead of
+// a register.
+func emitDelRecordFromSlot(g *kgen, st *prog.Reg) {
+	b := g.b
+	dd := b.Temp()
+	b.La(dd, "rp_seg_st")
+	b.Lw(dd, dd, segDone)
+	emitDelRecord(g, st, dd)
+	b.Free(dd)
+}
+
+// buildRPClassSC lowers RP-CLASS sequentially: acquisition, conditioning and
+// classification every sample, with pending delineation segments processed
+// SCChunk segment-samples at a time so the worst-case per-sample load stays
+// bounded.
+func buildRPClassSC(d *dataGen, mfp dspMF, mmp dspMMD, rp dsp.RPParams) (*Variant, error) {
+	b := prog.New("rp_sc")
+	g := &kgen{b: b, strat: stratSC}
+	condRings := declareMFRings(d, "rp_mfr", mfp, -1)
+	var segRings [3]mfRings
+	for ch := 0; ch < 3; ch++ {
+		segRings[ch] = declareMFRings(d, fmtSym("rpsc%d", ch), chainMFParams(), -1)
+	}
+	combSeg := d.newRing("rp_combseg", 16, -1)
+	detRing := d.newRing("rp_det", 64, -1)
+	d.space("rp_del_st", stSlots, -1)
+	d.space("rp_cls_st", clsSlots, -1)
+	d.space("rp_ybuf", rp.K, -1)
+	d.space("rp_seg_st", segSlots, -1)
+	c0 := ring{sym: "rp_c0", len: OutRingLen}
+	raw := [3]ring{
+		{sym: "rp_rawa0", len: RawRingLen},
+		{sym: "rp_rawa1", len: RawRingLen},
+		{sym: "rp_rawa2", len: RawRingLen},
+	}
+
+	b.Label("rp_entry")
+	g.emitSubscribe(irqMaskAll)
+	g.emitDetectorInit("rp_del_st", mmp)
+	{
+		st := b.Temp()
+		t := b.Temp()
+		b.La(st, "rp_cls_st")
+		for i := 0; i < clsSlots; i++ {
+			b.Sw(prog.Zero, st, i)
+		}
+		b.Li(t, -(rp.Refractory + 1))
+		b.Sw(t, st, clsLast)
+		b.La(st, "rp_seg_st")
+		for i := 0; i < segSlots; i++ {
+			b.Sw(prog.Zero, st, i)
+		}
+		b.Free(st, t)
+	}
+	s := b.Reg()
+	b.Li(s, 0)
+	b.LoopForever(func(skip string) {
+		g.emitWaitSample(irqMaskAll)
+		g.emitCfgGate("rp_cfg", skip)
+		// Acquire all channels, buffer raw history.
+		x0 := b.Temp()
+		t := b.Temp()
+		b.LoadMMIO(x0, adcDataAddr(0))
+		b.LoadMMIO(t, adcDataAddr(1))
+		g.ringPush(s, t, raw[1])
+		b.LoadMMIO(t, adcDataAddr(2))
+		g.ringPush(s, t, raw[2])
+		b.Free(t)
+		g.ringPush(s, x0, raw[0])
+		// Condition lead 0 and publish.
+		y := b.Temp()
+		g.emitMF(y, x0, s, condRings)
+		b.Free(x0)
+		g.ringPush(s, y, c0)
+		{
+			t := b.Temp()
+			base := b.Temp()
+			b.Addi(t, s, 1)
+			b.La(base, "rp_acnt")
+			b.Sw(t, base, 0)
+			b.Free(t, base)
+		}
+		// Detect + classify (chain completion tracked in rp_scnt0).
+		emitClassifierStep(g, s, y, "rp_cls_st", "rp_ybuf", "rp_scnt0", rp, nil)
+		// Interleaved chain work.
+		for chunk := 0; chunk < SCChunk; chunk++ {
+			emitSCChainChunk(g, segRings, combSeg, detRing, raw, mmp)
+		}
+		b.Addi(s, s, 1)
+	})
+	b.Halt()
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	res, err := link.Build(link.Spec{
+		Sources:     map[string]string{"code": b.Source(), "data": d.source()},
+		CodeBanks:   map[string]int{"rp_sc": 0},
+		EntryLabels: []string{"rp_entry"},
+		SingleCore:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Variant{App: RPClass, Arch: power.SC, Cores: 1, Res: res}, nil
+}
+
+// emitSCChainChunk processes at most one pending segment-sample: it starts a
+// queued segment (resetting the filter state) or advances the active one by
+// a single fully pipelined step (three leads filtered, combined, derived,
+// detected).
+func emitSCChainChunk(g *kgen, segRings [3]mfRings, combSeg, detRing ring, raw [3]ring, mmp dsp.MMDParams) {
+	b := g.b
+	stepL := b.NewLabel("chstep")
+	elseL := b.NewLabel("chidle")
+	endL := b.NewLabel("chend")
+	// Dispatch on the active flag, then release every register before the
+	// large bodies (manual branch-over-jump keeps ranges safe).
+	st := b.Temp()
+	act := b.Temp()
+	b.La(st, "rp_seg_st")
+	b.Lw(act, st, segAct)
+	b.Bnez(act, stepL)
+	b.Free(st, act)
+	b.J(elseL)
+
+	b.Label(stepL)
+	emitSCChainStep(g, segRings, combSeg, detRing, raw, mmp)
+	b.J(endL)
+
+	b.Label(elseL)
+	{
+		// Start the next queued segment, if any.
+		st := b.Temp()
+		t := b.Temp()
+		dc := b.Temp()
+		b.La(st, "rp_seg_st")
+		b.La(t, "rp_dcnt")
+		b.Lw(dc, t, 0)
+		b.Lw(t, st, segDone)
+		b.IfNe(dc, t, func() {
+			for _, m := range segRings {
+				g.emitResetRings(m)
+			}
+			g.emitMemset(combSeg.sym, combSeg.len)
+			g.emitMemset(detRing.sym, detRing.len)
+			g.emitDetectorInit("rp_del_st", mmp)
+			base := b.Temp()
+			b.AndMask(dc, t, DescQueueLen-1)
+			b.La(base, "rp_desc")
+			b.Add(base, base, dc)
+			b.Lw(dc, base, 0)
+			b.Sw(dc, st, segR)
+			b.Sw(prog.Zero, st, segK)
+			one := b.Temp()
+			b.Li(one, 1)
+			b.Sw(one, st, segAct)
+			b.Free(base, one)
+		}, nil)
+		b.Free(st, t, dc)
+	}
+	b.Label(endL)
+}
+
+// emitSCChainStep advances the active segment by one sample k.
+func emitSCChainStep(g *kgen, segRings [3]mfRings, combSeg, detRing ring, raw [3]ring, mmp dsp.MMDParams) {
+	b := g.b
+	// Filter the three leads at k, parking results in the scratch slots.
+	for ch := 0; ch < 3; ch++ {
+		st := b.Temp()
+		k := b.Temp()
+		j := b.Temp()
+		b.La(st, "rp_seg_st")
+		b.Lw(k, st, segK)
+		b.Lw(j, st, segR)
+		b.Add(j, j, k)
+		b.Addi(j, j, -(SegPre + RawOffset))
+		xr := b.Temp()
+		g.ringAt(xr, j, 0, raw[ch])
+		b.Free(j)
+		y := b.Temp()
+		g.emitMF(y, xr, k, segRings[ch])
+		b.Free(xr, k)
+		if ch < 2 {
+			b.Sw(y, st, segY0+ch)
+		} else {
+			// Combine and push.
+			a, bb := b.Temp(), b.Temp()
+			b.Lw(a, st, segY0)
+			b.Lw(bb, st, segY1)
+			comb := b.Temp()
+			g.emitCombine3(comb, a, bb, y)
+			b.Free(a, bb, y)
+			k2 := b.Temp()
+			b.Lw(k2, st, segK)
+			g.ringPush(k2, comb, combSeg)
+			b.Free(comb)
+			det := b.Temp()
+			g.emitMMDStep(det, k2, combSeg, mmp)
+			g.ringPush(k2, det, detRing)
+			// Free the block base across the detector step (tight pool)
+			// and reload it afterwards; the record callback fetches the
+			// descriptor index from memory itself.
+			b.Free(st)
+			g.emitDetectorStep(det, k2, detRing, "rp_del_st", mmp, func(stReg *prog.Reg) {
+				emitDelRecordFromSlot(g, stReg)
+			})
+			b.Free(det)
+			st = b.Temp()
+			b.La(st, "rp_seg_st")
+			// Advance k; finish the segment after SegLen samples.
+			b.Addi(k2, k2, 1)
+			b.Sw(k2, st, segK)
+			lim := b.Temp()
+			b.Li(lim, SegLen)
+			b.IfGe(k2, lim, func() {
+				done := b.Temp()
+				b.Lw(done, st, segDone)
+				b.Addi(done, done, 1)
+				b.Sw(done, st, segDone)
+				b.Sw(prog.Zero, st, segAct)
+				// Mirror the completion counters for result parity
+				// with the multi-core mapping.
+				base := b.Temp()
+				b.La(base, "rp_scnt0")
+				for ch := 0; ch < 3; ch++ {
+					b.Sw(done, base, ch)
+				}
+				b.Free(done, base)
+			}, nil)
+			b.Free(k2, lim)
+		}
+		if ch < 2 {
+			b.Free(y)
+		}
+		b.Free(st)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for symbol helpers in this file

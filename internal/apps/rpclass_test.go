@@ -1,0 +1,281 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/ecg"
+	"repro/internal/power"
+)
+
+// goldenRP replicates the full RP-CLASS pipeline on the host: conditioning,
+// beat detection, delayed classification, and on-demand segment delineation
+// for pathological beats. n is the number of processed samples.
+type rpBeat struct {
+	R     int
+	Patho bool
+}
+
+type rpDelRec struct {
+	Desc                int
+	Onset, Peak, Offset int
+}
+
+func goldenRP(sig *ecg.Signal, n int) ([]int16, []rpBeat, []rpDelRec) {
+	mfp := dsp.DefaultMFParams()
+	mmp := chainMMDParams()
+	rp := dsp.DefaultRPParams()
+	mat := dsp.RPMatrix(rp)
+	cents, err := trainedCentroids(rp, mat)
+	if err != nil {
+		panic(err)
+	}
+	cond := dsp.MorphFilter(sig.Leads[0][:n], mfp)
+
+	var beats []rpBeat
+	var recs []rpDelRec
+	for _, r := range dsp.DetectPeaks(cond, rp.BeatThr, rp.Refractory) {
+		// Classification triggers once the window and the raw segment
+		// are complete; untriggered trailing beats are not recorded.
+		if r+TriggerDelay >= n {
+			continue
+		}
+		lo := r - rp.Pre
+		if lo < 0 {
+			continue // cannot happen in practice: conditioning delay
+		}
+		y := dsp.Project(cond[lo:lo+rp.Window], mat, rp)
+		patho := dsp.Classify(y, cents.Normal, cents.Patho)
+		beats = append(beats, rpBeat{R: r, Patho: patho})
+		if !patho {
+			continue
+		}
+		// Delineation chain: filter the raw segment around the beat.
+		var seg [3][]int16
+		for ch := 0; ch < 3; ch++ {
+			rawSeg := make([]int16, SegLen)
+			for k := 0; k < SegLen; k++ {
+				j := r - RawOffset - SegPre + k
+				if j >= 0 && j < n {
+					rawSeg[k] = sig.Leads[ch][j]
+				}
+			}
+			seg[ch] = dsp.MorphFilter(rawSeg, chainMFParams())
+		}
+		comb := make([]int16, SegLen)
+		for k := range comb {
+			comb[k] = dsp.Combine3(seg[0][k], seg[1][k], seg[2][k])
+		}
+		for _, f := range dsp.DelineateStreamed(comb, mmp) {
+			recs = append(recs, rpDelRec{Desc: r, Onset: f.Onset, Peak: f.Peak, Offset: f.Offset})
+		}
+	}
+	return cond, beats, recs
+}
+
+// runRP executes one variant and extracts conditioned stream, beat records
+// and delineation records.
+func runRP(t *testing.T, arch power.Arch, sig *ecg.Signal, n int, clock float64) ([]int16, []rpBeat, []rpDelRec) {
+	t.Helper()
+	v, err := Build(RPClass, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := v.NewPlatform(sig, clock, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := uint64(float64(n+8) / SampleRateHz * clock)
+	if err := p.Run(cycles); err != nil {
+		t.Fatalf("%v run: %v", arch, err)
+	}
+	if p.Overruns() != 0 {
+		t.Fatalf("%v: %d overruns", arch, p.Overruns())
+	}
+	if len(p.ErrCodes()) != 0 {
+		t.Fatalf("%v: app errors %v", arch, p.ErrCodes())
+	}
+	if len(p.Violations()) != 0 {
+		t.Fatalf("%v: %v", arch, p.Violations())
+	}
+	acnt, err := v.ReadWord(p, "rp_acnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(acnt) < n {
+		t.Fatalf("%v: conditioned %d samples, want >= %d", arch, acnt, n)
+	}
+	cond, err := v.ReadRing(p, "rp_c0", OutRingLen, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcnt, err := v.ReadWord(p, "rp_bcnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	braw, err := v.ReadRing(p, "rp_beats", 2*ResultSlots, int(bcnt)*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beats []rpBeat
+	for i := 0; i+1 < len(braw); i += 2 {
+		beats = append(beats, rpBeat{R: int(uint16(braw[i])), Patho: braw[i+1] != 0})
+	}
+	dcnt, err := v.ReadWord(p, "rp_delcnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw, err := v.ReadRing(p, "rp_delres", 4*64, int(dcnt)*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []rpDelRec
+	for i := 0; i+3 < len(draw); i += 4 {
+		recs = append(recs, rpDelRec{
+			Desc:  int(uint16(draw[i])),
+			Onset: int(uint16(draw[i+1])), Peak: int(uint16(draw[i+2])), Offset: int(uint16(draw[i+3])),
+		})
+	}
+	return cond, beats, recs
+}
+
+func compareRP(t *testing.T, arch power.Arch, cond []int16, beats []rpBeat, recs []rpDelRec, wc []int16, wb []rpBeat, wr []rpDelRec) {
+	t.Helper()
+	for i := range wc {
+		if cond[i] != wc[i] {
+			t.Fatalf("%v: conditioned[%d] = %d, want %d", arch, i, cond[i], wc[i])
+		}
+	}
+	if len(beats) < len(wb) {
+		t.Fatalf("%v: %d beat records, want >= %d", arch, len(beats), len(wb))
+	}
+	for i, w := range wb {
+		if beats[i] != w {
+			t.Fatalf("%v: beat %d = %+v, want %+v", arch, i, beats[i], w)
+		}
+	}
+	if len(beats) > len(wb)+2 {
+		t.Errorf("%v: %d stray beat records", arch, len(beats)-len(wb))
+	}
+	// The simulated delineator may still be working on the last segment.
+	if len(recs) < len(wr)-2 {
+		t.Fatalf("%v: %d delineation records, want >= %d", arch, len(recs), len(wr)-2)
+	}
+	for i, r := range recs {
+		if i >= len(wr) {
+			t.Fatalf("%v: stray delineation record %+v", arch, r)
+		}
+		if r != wr[i] {
+			t.Fatalf("%v: delineation %d = %+v, want %+v", arch, i, r, wr[i])
+		}
+	}
+}
+
+func TestRPClassSCMatchesGolden(t *testing.T) {
+	sig := testSignal(t, 8, 0.3)
+	const n = 1800
+	cond, beats, recs := runRP(t, power.SC, sig, n, 6e6)
+	wc, wb, wr := goldenRP(sig, n)
+	if len(wb) < 5 {
+		t.Fatalf("degenerate golden: %d beats", len(wb))
+	}
+	pathoCount := 0
+	for _, b := range wb {
+		if b.Patho {
+			pathoCount++
+		}
+	}
+	if pathoCount == 0 || len(wr) == 0 {
+		t.Fatalf("degenerate golden: %d patho, %d delineations", pathoCount, len(wr))
+	}
+	compareRP(t, power.SC, cond, beats, recs, wc, wb, wr)
+}
+
+func TestRPClassMCMatchesGolden(t *testing.T) {
+	sig := testSignal(t, 8, 0.3)
+	const n = 1800
+	cond, beats, recs := runRP(t, power.MC, sig, n, 6e6)
+	wc, wb, wr := goldenRP(sig, n)
+	compareRP(t, power.MC, cond, beats, recs, wc, wb, wr)
+}
+
+func TestRPClassMCNoSyncMatchesGolden(t *testing.T) {
+	sig := testSignal(t, 6, 0.3)
+	const n = 1300
+	cond, beats, recs := runRP(t, power.MCNoSync, sig, n, 6e6)
+	wc, wb, wr := goldenRP(sig, n)
+	compareRP(t, power.MCNoSync, cond, beats, recs, wc, wb, wr)
+}
+
+func TestRPClassClassifierAccuracy(t *testing.T) {
+	sig := testSignal(t, 10, 0.3)
+	const n = 2300
+	_, beats, _ := runRP(t, power.MC, sig, n, 6e6)
+	delay := dsp.DefaultMFParams().TotalDelay()
+	correct, total := 0, 0
+	for _, b := range beats {
+		// Match against ground truth via the conditioning delay.
+		for _, g := range sig.Beats {
+			if abs(g.RPeak+delay-b.R) <= 8 {
+				total++
+				if g.Pathological == b.Patho {
+					correct++
+				}
+				break
+			}
+		}
+	}
+	if total < 5 {
+		t.Fatalf("only %d beats matched ground truth", total)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.8 {
+		t.Errorf("on-platform classifier accuracy = %.2f (%d/%d)", acc, correct, total)
+	}
+}
+
+func TestRPClassChainIdleWithoutPathology(t *testing.T) {
+	sig := testSignal(t, 4, 0) // no ectopic beats
+	v, err := Build(RPClass, power.MC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := v.NewPlatform(sig, 2e6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunSeconds(3.5); err != nil {
+		t.Fatal(err)
+	}
+	// The four delineation-chain cores (2..5) must have slept through the
+	// entire run: "the four cores in the delineation chain are seldom
+	// activated" (paper §IV-D); with 0% ectopics they never are.
+	for c := 2; c <= 5; c++ {
+		if busy := p.CoreBusy(c); busy > 20_000 {
+			t.Errorf("chain core %d busy for %d cycles despite no pathology", c, busy)
+		}
+	}
+	if dcnt, _ := v.ReadWord(p, "rp_dcnt"); dcnt != 0 {
+		t.Errorf("descriptors enqueued without pathology: %d", dcnt)
+	}
+}
+
+func TestRPClassStructure(t *testing.T) {
+	v, err := Build(RPClass, power.MC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cores != 6 {
+		t.Errorf("cores = %d, want 6 (paper Table I)", v.Cores)
+	}
+	sig := testSignal(t, 1, 0)
+	p, err := v.NewPlatform(sig, 1e6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ActiveIMBanks(); got != 4 {
+		t.Errorf("active IM banks = %d, want 4", got)
+	}
+	if pct := v.Res.Image.CodeOverheadPct(); pct <= 0 || pct > 4 {
+		t.Errorf("code overhead = %.2f%% (paper: 0.69%%)", pct)
+	}
+}

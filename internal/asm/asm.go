@@ -1,0 +1,184 @@
+// Package asm implements the WB16 assembler, part of the paper's programming
+// tool-chain (compiler, builder and linker; §IV-C). Sources are parsed into
+// units of named code and data segments whose items have fixed sizes; the
+// linker (internal/link) assigns base addresses to segments, after which the
+// unit is encoded against the global symbol table.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// SegKind distinguishes instruction-memory from data-memory segments.
+type SegKind uint8
+
+// Segment kinds.
+const (
+	SegCode SegKind = iota // 24-bit instruction words, placed in IM banks
+	SegData                // 16-bit data words, placed in DM
+)
+
+func (k SegKind) String() string {
+	if k == SegCode {
+		return "code"
+	}
+	return "data"
+}
+
+// Unit is one assembled translation unit: an ordered list of segments plus
+// unit-level .equ definitions.
+type Unit struct {
+	Name     string
+	Segments []*Segment
+	// Equs are constant definitions, evaluated against the full symbol
+	// table at encode time (they may reference labels).
+	Equs []Equ
+}
+
+// Equ is a named constant definition from a .equ directive.
+type Equ struct {
+	Name string
+	Expr *Expr
+	Line int
+}
+
+// Segment is a contiguous run of code or data placed as one block.
+type Segment struct {
+	Name  string
+	Kind  SegKind
+	Items []Item
+	// Base is the word address assigned by the linker (IM address for
+	// code, DM address for data). Valid after placement.
+	Base int
+	// size in words, accumulated during parsing.
+	size int
+}
+
+// Size returns the segment size in words (24-bit words for code, 16-bit for
+// data).
+func (s *Segment) Size() int { return s.size }
+
+// Item is a single parsed entity within a segment.
+type Item struct {
+	Kind ItemKind
+	Line int
+
+	// Label name, for ItemLabel.
+	Label string
+
+	// Instruction fields, for ItemInstr.
+	Op       isa.Opcode
+	Pseudo   Pseudo
+	Regs     [3]uint8 // operand registers in source order
+	NRegs    int
+	Ex       *Expr // immediate / offset / target / sync point
+	ExIsSync bool  // immediate written with the #literal sync syntax
+
+	// Data fields, for ItemWord (one expression per word) and ItemSpace.
+	Words []*Expr
+	Space int
+
+	// size of the item in words, fixed at parse time.
+	size int
+}
+
+// ItemKind enumerates parsed item types.
+type ItemKind uint8
+
+// Item kinds.
+const (
+	ItemLabel ItemKind = iota
+	ItemInstr
+	ItemWord
+	ItemSpace
+)
+
+// Pseudo enumerates pseudo-instructions expanded at encode time. Their sizes
+// are fixed at parse time so segment layout never changes afterwards.
+type Pseudo uint8
+
+// Pseudo-instructions.
+const (
+	PseudoNone Pseudo = iota
+	PseudoLI          // li rd, expr   -> addi (1 word) or lui+ori (2 words)
+	PseudoLA          // la rd, symbol -> lui+ori (always 2 words)
+	PseudoMOV         // mov rd, rs    -> add rd, rs, r0
+	PseudoJ           // j label       -> jal r0, label
+	PseudoCALL        // call label    -> jal ra, label
+	PseudoRET         // ret           -> jalr r0, ra, 0
+	PseudoNOT         // not rd, rs    -> xori rd, rs, -1
+	PseudoNEG         // neg rd, rs    -> sub rd, r0, rs
+	PseudoBGT         // bgt a,b,l     -> blt b,a,l
+	PseudoBLE         // ble a,b,l     -> bge b,a,l
+	PseudoBGTU        // bgtu a,b,l    -> bltu b,a,l
+	PseudoBLEU        // bleu a,b,l    -> bgeu b,a,l
+	PseudoBEQZ        // beqz a,l      -> beq a,r0,l
+	PseudoBNEZ        // bnez a,l      -> bne a,r0,l
+)
+
+// Error is an assembler diagnostic carrying source position.
+type Error struct {
+	Unit string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Unit, e.Line, e.Msg)
+}
+
+func errf(unit string, line int, format string, args ...any) error {
+	return &Error{Unit: unit, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Symbols collects every label (as segment-relative offsets resolved against
+// segment bases) and .equ of the unit into dst. Labels must be unique across
+// the whole program; collisions are reported.
+func (u *Unit) Symbols(dst MapSymbols) error {
+	for _, seg := range u.Segments {
+		off := 0
+		for _, it := range seg.Items {
+			if it.Kind == ItemLabel {
+				if _, dup := dst[it.Label]; dup {
+					return errf(u.Name, it.Line, "duplicate symbol %q", it.Label)
+				}
+				dst[it.Label] = seg.Base + off
+			}
+			off += it.size
+		}
+	}
+	return nil
+}
+
+// ResolveEqus evaluates the unit's .equ definitions into dst. Definitions may
+// reference labels and previously defined constants.
+func (u *Unit) ResolveEqus(dst MapSymbols) error {
+	for _, eq := range u.Equs {
+		if _, dup := dst[eq.Name]; dup {
+			return errf(u.Name, eq.Line, "duplicate symbol %q", eq.Name)
+		}
+		v, err := eq.Expr.Eval(dst)
+		if err != nil {
+			return errf(u.Name, eq.Line, ".equ %s: %v", eq.Name, err)
+		}
+		dst[eq.Name] = v
+	}
+	return nil
+}
+
+// CodeImage is an encoded code segment ready to be loaded into IM.
+type CodeImage struct {
+	Seg   *Segment
+	Words []isa.Word
+	// SyncInstrs counts instructions belonging to the sync ISE, for the
+	// paper's code-overhead metric (Table I).
+	SyncInstrs int
+}
+
+// DataImage is an encoded data segment ready to be loaded into DM.
+type DataImage struct {
+	Seg   *Segment
+	Words []uint16
+}

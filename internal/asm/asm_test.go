@@ -1,0 +1,363 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) ([]isa.Word, []uint16, MapSymbols) {
+	t.Helper()
+	code, data, sym, err := AssembleSnippet(src, 0, 0)
+	if err != nil {
+		t.Fatalf("AssembleSnippet: %v", err)
+	}
+	return code, data, sym
+}
+
+func TestBasicProgram(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.code main
+start:
+    addi r1, r0, 5
+loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+`)
+	want := []isa.Instr{
+		{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 5},
+		{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: -1},
+		{Op: isa.OpBNE, Rs1: 1, Rs2: 0, Imm: -2},
+		{Op: isa.OpHALT},
+	}
+	if len(code) != len(want) {
+		t.Fatalf("got %d words, want %d", len(code), len(want))
+	}
+	for i, w := range want {
+		if got := isa.Decode(code[i]); got != w {
+			t.Errorf("word %d: got %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.code main
+    beq r0, r0, done
+    addi r1, r0, 1
+done:
+    halt
+`)
+	ins := isa.Decode(code[0])
+	if ins.Op != isa.OpBEQ || ins.Imm != 1 {
+		t.Errorf("forward branch decoded as %v, want beq +1", ins)
+	}
+}
+
+func TestLoadStoreSyntax(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.code main
+    lw r3, 8(r2)
+    lw r3, (r2)
+    sw r3, -4(sp)
+    halt
+`)
+	if got := isa.Decode(code[0]); got != (isa.Instr{Op: isa.OpLW, Rd: 3, Rs1: 2, Imm: 8}) {
+		t.Errorf("lw: %v", got)
+	}
+	if got := isa.Decode(code[1]); got != (isa.Instr{Op: isa.OpLW, Rd: 3, Rs1: 2, Imm: 0}) {
+		t.Errorf("lw no-offset: %v", got)
+	}
+	if got := isa.Decode(code[2]); got != (isa.Instr{Op: isa.OpSW, Rs1: 14, Rs2: 3, Imm: -4}) {
+		t.Errorf("sw: %v", got)
+	}
+}
+
+func TestSyncInstructions(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.equ PT_FILTER, 3
+.code main
+    sinc #PT_FILTER
+    sdec #PT_FILTER
+    snop #2
+    sleep
+    halt
+`)
+	wants := []isa.Instr{
+		{Op: isa.OpSINC, Imm: 3},
+		{Op: isa.OpSDEC, Imm: 3},
+		{Op: isa.OpSNOP, Imm: 2},
+		{Op: isa.OpSLEEP},
+	}
+	for i, w := range wants {
+		if got := isa.Decode(code[i]); got != w {
+			t.Errorf("word %d: got %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestSyncRequiresHashSyntax(t *testing.T) {
+	_, _, _, err := AssembleSnippet(".code m\n sinc 3\n", 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "#literal") {
+		t.Errorf("want #literal error, got %v", err)
+	}
+}
+
+func TestLIExpansion(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.code main
+    li r1, 5          ; fits imm10: one addi
+    li r2, 0x1234     ; needs lui+ori
+    li r3, -512       ; boundary: fits
+    li r4, 512        ; does not fit
+    halt
+`)
+	if len(code) != 7 {
+		t.Fatalf("got %d words, want 7", len(code))
+	}
+	if got := isa.Decode(code[0]); got != (isa.Instr{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 5}) {
+		t.Errorf("li small: %v", got)
+	}
+	lui := isa.Decode(code[1])
+	ori := isa.Decode(code[2])
+	if lui.Op != isa.OpLUI || ori.Op != isa.OpORI {
+		t.Fatalf("li large: got %v, %v", lui, ori)
+	}
+	if v := uint16(lui.Imm)<<6 | uint16(ori.Imm); v != 0x1234 {
+		t.Errorf("li large reconstructs to %#x, want 0x1234", v)
+	}
+}
+
+func TestLASymbolic(t *testing.T) {
+	code, _, sym := mustAssemble(t, `
+.code main
+    la r1, buf
+    lw r2, (r1)
+    halt
+.data d
+    .space 7
+buf:
+    .word 42
+`)
+	lui := isa.Decode(code[0])
+	ori := isa.Decode(code[1])
+	got := int(uint16(lui.Imm)<<6 | uint16(ori.Imm))
+	if got != sym["buf"] || sym["buf"] != 7 {
+		t.Errorf("la resolves to %d, symbol buf = %d (want 7)", got, sym["buf"])
+	}
+}
+
+func TestPseudoBranchesAndMoves(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.code main
+t:  mov r1, r2
+    not r3, r4
+    neg r5, r6
+    bgt r1, r2, t
+    ble r1, r2, t
+    bgtu r1, r2, t
+    bleu r1, r2, t
+    beqz r1, t
+    bnez r1, t
+    j t
+    call t
+    ret
+`)
+	wants := []isa.Instr{
+		{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 0},
+		{Op: isa.OpXORI, Rd: 3, Rs1: 4, Imm: -1},
+		{Op: isa.OpSUB, Rd: 5, Rs1: 0, Rs2: 6},
+		{Op: isa.OpBLT, Rs1: 2, Rs2: 1, Imm: -4},
+		{Op: isa.OpBGE, Rs1: 2, Rs2: 1, Imm: -5},
+		{Op: isa.OpBLTU, Rs1: 2, Rs2: 1, Imm: -6},
+		{Op: isa.OpBGEU, Rs1: 2, Rs2: 1, Imm: -7},
+		{Op: isa.OpBEQ, Rs1: 1, Rs2: 0, Imm: -8},
+		{Op: isa.OpBNE, Rs1: 1, Rs2: 0, Imm: -9},
+		{Op: isa.OpJAL, Rd: 0, Imm: -10},
+		{Op: isa.OpJAL, Rd: 15, Imm: -11},
+		{Op: isa.OpJALR, Rd: 0, Rs1: 15, Imm: 0},
+	}
+	for i, w := range wants {
+		if got := isa.Decode(code[i]); got != w {
+			t.Errorf("word %d: got %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	_, data, sym := mustAssemble(t, `
+.data tab
+coef:
+    .word 1, -2, 0x10, 'A'
+    .space 3
+end:
+    .word end - coef
+`)
+	want := []uint16{1, 0xFFFE, 0x10, 65, 0, 0, 0, 7}
+	if len(data) != len(want) {
+		t.Fatalf("data len %d, want %d", len(data), len(want))
+	}
+	for i, w := range want {
+		if data[i] != w {
+			t.Errorf("data[%d] = %d, want %d", i, data[i], w)
+		}
+	}
+	if sym["end"]-sym["coef"] != 7 {
+		t.Errorf("label arithmetic wrong: end-coef = %d", sym["end"]-sym["coef"])
+	}
+}
+
+func TestEquExpressions(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.equ A, 3
+.equ B, A * 4 + 1
+.code m
+    addi r1, r0, B
+    halt
+`)
+	if got := isa.Decode(code[0]); got.Imm != 13 {
+		t.Errorf("B = %d, want 13", got.Imm)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.code m
+    add sp, ra, zero
+    halt
+`)
+	if got := isa.Decode(code[0]); got != (isa.Instr{Op: isa.OpADD, Rd: 14, Rs1: 15, Rs2: 0}) {
+		t.Errorf("aliases: %v", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	code, _, _ := mustAssemble(t, `
+.code m        ; segment
+    nop        // trailing
+; full line
+    halt
+`)
+	if len(code) != 2 {
+		t.Errorf("got %d instructions, want 2", len(code))
+	}
+}
+
+func TestMultipleLabelsSameAddress(t *testing.T) {
+	_, _, sym := mustAssemble(t, `
+.code m
+a: b:
+    nop
+c:
+    halt
+`)
+	if sym["a"] != sym["b"] || sym["a"] != 0 || sym["c"] != 1 {
+		t.Errorf("labels: a=%d b=%d c=%d", sym["a"], sym["b"], sym["c"])
+	}
+}
+
+func TestSegmentReopening(t *testing.T) {
+	code, _, sym := mustAssemble(t, `
+.code a
+    nop
+.code b
+    halt
+.code a
+second:
+    halt
+`)
+	// Segments: a (2 words), then b (1 word). Placement is a then b.
+	if len(code) != 3 {
+		t.Fatalf("got %d words, want 3", len(code))
+	}
+	if sym["second"] != 1 {
+		t.Errorf("second = %d, want 1 (appended to segment a)", sym["second"])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{"nop\n", "outside any"},
+		{".code m\n frob r1\n", "unknown mnemonic"},
+		{".code m\n add r1, r2\n", "want 3 operands"},
+		{".code m\n add r1, r2, r99\n", "bad register"},
+		{".code m\n addi r1, r0, 4096\n", "out of signed 10-bit"},
+		{".code m\n lw r1, r2\n", "want off(reg)"},
+		{".data d\n .word\n", "no values"},
+		{".code m\n .word 3\n", "outside a data segment"},
+		{".data d\n nop\n", "in data segment"},
+		{".bogus x\n", "unknown directive"},
+		{".code m\nx: nop\nx: nop\n", "duplicate symbol"},
+		{".equ q, 1\n.equ q, 2\n.code m\n nop\n", "duplicate symbol"},
+		{".code m\n beq r0, r0, nowhere\n", "undefined symbol"},
+		{".data d\n .word 70000\n", "out of 16-bit range"},
+		{".data d\n .space -1\n", "non-negative"},
+		{".code m\n jal r1, start + \n", "unexpected end"},
+	}
+	for _, c := range cases {
+		_, _, _, err := AssembleSnippet(c.src, 0, 0)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("src %q: want error containing %q, got %v", c.src, c.wantSub, err)
+		}
+	}
+}
+
+func TestErrorCarriesLineNumber(t *testing.T) {
+	_, _, _, err := AssembleSnippet(".code m\n nop\n frob\n", 0, 0)
+	if err == nil || !strings.Contains(err.Error(), ":3:") {
+		t.Errorf("want line 3 in error, got %v", err)
+	}
+}
+
+func TestSyncInstrCountForCodeOverhead(t *testing.T) {
+	u, err := Parse("t", `
+.code m
+    addi r1, r0, 1
+    sinc #0
+    sdec #0
+    sleep
+    snop #1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := MapSymbols{}
+	if err := u.Symbols(sym); err != nil {
+		t.Fatal(err)
+	}
+	code, _, err := u.Encode(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0].SyncInstrs != 4 {
+		t.Errorf("SyncInstrs = %d, want 4", code[0].SyncInstrs)
+	}
+}
+
+func TestBranchOffsetFromDifferentBase(t *testing.T) {
+	// The same source assembled at a non-zero base must produce identical
+	// relative branches.
+	src := `
+.code m
+top:
+    addi r1, r1, 1
+    bne r1, r0, top
+    halt
+`
+	a, _, _, err := AssembleSnippet(src, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _, err := AssembleSnippet(src, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("word %d differs across bases: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}

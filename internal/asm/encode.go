@@ -1,0 +1,250 @@
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Encode encodes every segment of the unit against the program-wide symbol
+// table. Segment bases must have been assigned by the linker beforehand.
+func (u *Unit) Encode(sym SymbolTable) ([]CodeImage, []DataImage, error) {
+	var code []CodeImage
+	var data []DataImage
+	for _, seg := range u.Segments {
+		switch seg.Kind {
+		case SegCode:
+			img, err := encodeCode(u.Name, seg, sym)
+			if err != nil {
+				return nil, nil, err
+			}
+			code = append(code, img)
+		case SegData:
+			img, err := encodeData(u.Name, seg, sym)
+			if err != nil {
+				return nil, nil, err
+			}
+			data = append(data, img)
+		}
+	}
+	return code, data, nil
+}
+
+func encodeCode(unit string, seg *Segment, sym SymbolTable) (CodeImage, error) {
+	img := CodeImage{Seg: seg, Words: make([]isa.Word, 0, seg.size)}
+	pc := seg.Base
+	emit := func(line int, ins isa.Instr) error {
+		w, err := isa.Encode(ins)
+		if err != nil {
+			return errf(unit, line, "%v", err)
+		}
+		if ins.Op.IsSyncExtension() {
+			img.SyncInstrs++
+		}
+		img.Words = append(img.Words, w)
+		pc++
+		return nil
+	}
+
+	for _, it := range seg.Items {
+		switch it.Kind {
+		case ItemLabel:
+			continue
+		case ItemInstr:
+			if err := encodeInstr(unit, it, pc, sym, emit); err != nil {
+				return img, err
+			}
+		default:
+			return img, errf(unit, it.Line, "data item in code segment %q", seg.Name)
+		}
+	}
+	if len(img.Words) != seg.size {
+		return img, fmt.Errorf("asm: %s: segment %q encoded %d words, layout said %d",
+			unit, seg.Name, len(img.Words), seg.size)
+	}
+	return img, nil
+}
+
+func encodeInstr(unit string, it Item, pc int, sym SymbolTable, emit func(int, isa.Instr) error) error {
+	ev := func() (int, error) {
+		v, err := it.Ex.Eval(sym)
+		if err != nil {
+			return 0, errf(unit, it.Line, "%v", err)
+		}
+		return v, nil
+	}
+	branchOff := func(target, at int) int { return target - (at + 1) }
+
+	if it.Pseudo != PseudoNone {
+		switch it.Pseudo {
+		case PseudoLI, PseudoLA:
+			v, err := ev()
+			if err != nil {
+				return err
+			}
+			v &= 0xFFFF
+			if it.size == 1 {
+				// Constant fit the signed 10-bit immediate at parse time.
+				sv := int32(int16(uint16(v)))
+				return emit(it.Line, isa.Instr{Op: isa.OpADDI, Rd: it.Regs[0], Rs1: 0, Imm: sv})
+			}
+			hi := int32(v >> 6 & 0x3FF)
+			lo := int32(v & 0x3F)
+			if err := emit(it.Line, isa.Instr{Op: isa.OpLUI, Rd: it.Regs[0], Imm: hi}); err != nil {
+				return err
+			}
+			return emit(it.Line, isa.Instr{Op: isa.OpORI, Rd: it.Regs[0], Rs1: it.Regs[0], Imm: lo})
+		case PseudoMOV:
+			return emit(it.Line, isa.Instr{Op: isa.OpADD, Rd: it.Regs[0], Rs1: it.Regs[1], Rs2: 0})
+		case PseudoNOT:
+			return emit(it.Line, isa.Instr{Op: isa.OpXORI, Rd: it.Regs[0], Rs1: it.Regs[1], Imm: -1})
+		case PseudoNEG:
+			return emit(it.Line, isa.Instr{Op: isa.OpSUB, Rd: it.Regs[0], Rs1: 0, Rs2: it.Regs[1]})
+		case PseudoJ, PseudoCALL:
+			v, err := ev()
+			if err != nil {
+				return err
+			}
+			rd := uint8(0)
+			if it.Pseudo == PseudoCALL {
+				rd = 15
+			}
+			return emit(it.Line, isa.Instr{Op: isa.OpJAL, Rd: rd, Imm: int32(branchOff(v, pc))})
+		case PseudoRET:
+			return emit(it.Line, isa.Instr{Op: isa.OpJALR, Rd: 0, Rs1: 15, Imm: 0})
+		case PseudoBGT, PseudoBLE, PseudoBGTU, PseudoBLEU:
+			v, err := ev()
+			if err != nil {
+				return err
+			}
+			op := map[Pseudo]isa.Opcode{
+				PseudoBGT: isa.OpBLT, PseudoBLE: isa.OpBGE,
+				PseudoBGTU: isa.OpBLTU, PseudoBLEU: isa.OpBGEU,
+			}[it.Pseudo]
+			// Operands swapped: bgt a,b == blt b,a.
+			return emit(it.Line, isa.Instr{Op: op, Rs1: it.Regs[1], Rs2: it.Regs[0], Imm: int32(branchOff(v, pc))})
+		case PseudoBEQZ, PseudoBNEZ:
+			v, err := ev()
+			if err != nil {
+				return err
+			}
+			op := isa.OpBEQ
+			if it.Pseudo == PseudoBNEZ {
+				op = isa.OpBNE
+			}
+			return emit(it.Line, isa.Instr{Op: op, Rs1: it.Regs[0], Rs2: 0, Imm: int32(branchOff(v, pc))})
+		}
+		return errf(unit, it.Line, "unhandled pseudo %d", it.Pseudo)
+	}
+
+	ins := isa.Instr{Op: it.Op}
+	switch it.Op.Fmt() {
+	case isa.FmtR:
+		ins.Rd, ins.Rs1, ins.Rs2 = it.Regs[0], it.Regs[1], it.Regs[2]
+	case isa.FmtI:
+		ins.Rd, ins.Rs1 = it.Regs[0], it.Regs[1]
+		v, err := ev()
+		if err != nil {
+			return err
+		}
+		ins.Imm = int32(v)
+	case isa.FmtB:
+		ins.Rs1, ins.Rs2 = it.Regs[0], it.Regs[1]
+		if it.Op == isa.OpSW {
+			// Source order was (value, base): value is rs2 in the encoding.
+			ins.Rs1, ins.Rs2 = it.Regs[1], it.Regs[0]
+		}
+		v, err := ev()
+		if err != nil {
+			return err
+		}
+		if it.Op.IsBranch() {
+			v = branchOff(v, pc)
+		}
+		ins.Imm = int32(v)
+	case isa.FmtJ:
+		ins.Rd = it.Regs[0]
+		v, err := ev()
+		if err != nil {
+			return err
+		}
+		ins.Imm = int32(branchOff(v, pc))
+	case isa.FmtS:
+		v, err := ev()
+		if err != nil {
+			return err
+		}
+		ins.Imm = int32(v)
+	}
+	return emit(it.Line, ins)
+}
+
+func encodeData(unit string, seg *Segment, sym SymbolTable) (DataImage, error) {
+	img := DataImage{Seg: seg, Words: make([]uint16, 0, seg.size)}
+	for _, it := range seg.Items {
+		switch it.Kind {
+		case ItemLabel:
+		case ItemWord:
+			for _, e := range it.Words {
+				v, err := e.Eval(sym)
+				if err != nil {
+					return img, errf(unit, it.Line, "%v", err)
+				}
+				if v < -32768 || v > 65535 {
+					return img, errf(unit, it.Line, ".word value %d out of 16-bit range", v)
+				}
+				img.Words = append(img.Words, uint16(v))
+			}
+		case ItemSpace:
+			img.Words = append(img.Words, make([]uint16, it.Space)...)
+		default:
+			return img, errf(unit, it.Line, "instruction in data segment %q", seg.Name)
+		}
+	}
+	if len(img.Words) != seg.size {
+		return img, fmt.Errorf("asm: %s: data segment %q encoded %d words, layout said %d",
+			unit, seg.Name, len(img.Words), seg.size)
+	}
+	return img, nil
+}
+
+// AssembleSnippet assembles a single-unit source whose code segments are
+// placed consecutively starting at codeBase and data segments consecutively
+// at dataBase. It is a convenience for tests and small programs; real
+// programs go through internal/link for bank-aware placement.
+func AssembleSnippet(src string, codeBase, dataBase int) ([]isa.Word, []uint16, MapSymbols, error) {
+	u, err := Parse("snippet", src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cb, db := codeBase, dataBase
+	for _, seg := range u.Segments {
+		if seg.Kind == SegCode {
+			seg.Base = cb
+			cb += seg.Size()
+		} else {
+			seg.Base = db
+			db += seg.Size()
+		}
+	}
+	sym := MapSymbols{}
+	if err := u.Symbols(sym); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := u.ResolveEqus(sym); err != nil {
+		return nil, nil, nil, err
+	}
+	code, data, err := u.Encode(sym)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var words []isa.Word
+	for _, c := range code {
+		words = append(words, c.Words...)
+	}
+	var dwords []uint16
+	for _, d := range data {
+		dwords = append(dwords, d.Words...)
+	}
+	return words, dwords, sym, nil
+}

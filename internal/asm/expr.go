@@ -1,0 +1,280 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a constant expression over integers and symbols, evaluated once the
+// linker has assigned addresses to every label. The grammar supports decimal,
+// hexadecimal (0x) and character ('c') literals, symbol references, unary - ~
+// and the binary operators + - * / % << >> & | ^ with C-like precedence.
+type Expr struct {
+	text string
+	node exprNode
+}
+
+// String returns the source text of the expression.
+func (e *Expr) String() string { return e.text }
+
+type exprNode interface {
+	eval(sym SymbolTable) (int, error)
+}
+
+// SymbolTable resolves symbol names to values during encoding.
+type SymbolTable interface {
+	Lookup(name string) (int, bool)
+}
+
+// MapSymbols is a SymbolTable backed by a plain map.
+type MapSymbols map[string]int
+
+// Lookup implements SymbolTable.
+func (m MapSymbols) Lookup(name string) (int, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+type litNode int
+
+func (n litNode) eval(SymbolTable) (int, error) { return int(n), nil }
+
+type symNode string
+
+func (n symNode) eval(sym SymbolTable) (int, error) {
+	if sym != nil {
+		if v, ok := sym.Lookup(string(n)); ok {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("undefined symbol %q", string(n))
+}
+
+type unaryNode struct {
+	op rune
+	x  exprNode
+}
+
+func (n unaryNode) eval(sym SymbolTable) (int, error) {
+	v, err := n.x.eval(sym)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case '-':
+		return -v, nil
+	case '~':
+		return ^v, nil
+	}
+	return 0, fmt.Errorf("unknown unary operator %q", n.op)
+}
+
+type binNode struct {
+	op   string
+	l, r exprNode
+}
+
+func (n binNode) eval(sym SymbolTable) (int, error) {
+	l, err := n.l.eval(sym)
+	if err != nil {
+		return 0, err
+	}
+	r, err := n.r.eval(sym)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return l / r, nil
+	case "%":
+		if r == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return l % r, nil
+	case "<<":
+		return l << uint(r&31), nil
+	case ">>":
+		return l >> uint(r&31), nil
+	case "&":
+		return l & r, nil
+	case "|":
+		return l | r, nil
+	case "^":
+		return l ^ r, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", n.op)
+}
+
+// Eval evaluates the expression against sym.
+func (e *Expr) Eval(sym SymbolTable) (int, error) {
+	v, err := e.node.eval(sym)
+	if err != nil {
+		return 0, fmt.Errorf("in %q: %w", e.text, err)
+	}
+	return v, nil
+}
+
+// ConstValue evaluates the expression with no symbols; ok is false when the
+// expression references any symbol.
+func (e *Expr) ConstValue() (v int, ok bool) {
+	v, err := e.node.eval(MapSymbols(nil))
+	return v, err == nil
+}
+
+// Lit returns an Expr holding a fixed integer, useful for generated code.
+func Lit(v int) *Expr { return &Expr{text: strconv.Itoa(v), node: litNode(v)} }
+
+// Sym returns an Expr referencing a symbol, useful for generated code.
+func Sym(name string) *Expr { return &Expr{text: name, node: symNode(name)} }
+
+// ParseExpr parses a constant expression from s.
+func ParseExpr(s string) (*Expr, error) {
+	p := exprParser{src: s}
+	n, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("expression %q: trailing input at %q", s, p.src[p.pos:])
+	}
+	return &Expr{text: strings.TrimSpace(s), node: n}, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+// binary operator precedence, lowest first.
+var precedence = map[string]int{
+	"|": 1, "^": 2, "&": 3,
+	"<<": 4, ">>": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peekOp() string {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return ""
+	}
+	if p.pos+1 < len(p.src) {
+		two := p.src[p.pos : p.pos+2]
+		if two == "<<" || two == ">>" {
+			return two
+		}
+	}
+	c := p.src[p.pos]
+	if strings.ContainsRune("+-*/%&|^", rune(c)) {
+		return string(c)
+	}
+	return ""
+}
+
+func (p *exprParser) parseBinary(minPrec int) (exprNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peekOp()
+		if op == "" || precedence[op] < minPrec {
+			return left, nil
+		}
+		p.pos += len(op)
+		right, err := p.parseBinary(precedence[op] + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+}
+
+func (p *exprParser) parseUnary() (exprNode, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '-', '~':
+			op := rune(p.src[p.pos])
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return unaryNode{op: op, x: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdent(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *exprParser) parsePrimary() (exprNode, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("expression %q: unexpected end", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		n, err := p.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("expression %q: missing )", p.src)
+		}
+		p.pos++
+		return n, nil
+	case c == '\'':
+		if p.pos+2 < len(p.src) && p.src[p.pos+2] == '\'' {
+			v := litNode(p.src[p.pos+1])
+			p.pos += 3
+			return v, nil
+		}
+		return nil, fmt.Errorf("expression %q: bad character literal", p.src)
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && (isIdent(p.src[p.pos])) {
+			p.pos++
+		}
+		text := p.src[start:p.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expression %q: bad number %q", p.src, text)
+		}
+		return litNode(v), nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdent(p.src[p.pos]) {
+			p.pos++
+		}
+		return symNode(p.src[start:p.pos]), nil
+	}
+	return nil, fmt.Errorf("expression %q: unexpected %q", p.src, c)
+}

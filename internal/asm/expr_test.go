@@ -1,0 +1,112 @@
+package asm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalConst(t *testing.T, s string) int {
+	t.Helper()
+	e, err := ParseExpr(s)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", s, err)
+	}
+	v, err := e.Eval(MapSymbols{"x": 10, "y": 3, "base": 0x100})
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"10-3-2", 5},
+		{"-5", -5},
+		{"~0", -1},
+		{"0x10", 16},
+		{"1<<4", 16},
+		{"256>>2", 64},
+		{"0xFF & 0x0F", 15},
+		{"1|2|4", 7},
+		{"5^1", 4},
+		{"7/2", 3},
+		{"7%3", 1},
+		{"x+y", 13},
+		{"base + x*2", 0x114},
+		{"'A'", 65},
+		{"-x", -10},
+		{"2*-3", -6},
+		{"1 + 2 << 3", 24}, // shift binds looser than +, like C
+	}
+	for _, c := range cases {
+		if got := evalConst(t, c.src); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	bad := []string{"", "1+", "(1", "1)", "1 1", "$", "'ab'", "1/0", "1%0", "nosuchsym"}
+	for _, s := range bad {
+		e, err := ParseExpr(s)
+		if err != nil {
+			continue
+		}
+		if _, err := e.Eval(MapSymbols{}); err == nil {
+			t.Errorf("%q: want an error somewhere, got none", s)
+		}
+	}
+}
+
+func TestExprUndefinedSymbolNamed(t *testing.T) {
+	e, err := ParseExpr("missing + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(MapSymbols{}); err == nil {
+		t.Fatal("want undefined-symbol error")
+	}
+	if _, ok := e.ConstValue(); ok {
+		t.Error("ConstValue should fail for symbolic expressions")
+	}
+}
+
+func TestLitAndSymHelpers(t *testing.T) {
+	if v, ok := Lit(42).ConstValue(); !ok || v != 42 {
+		t.Errorf("Lit(42) = %d, %v", v, ok)
+	}
+	v, err := Sym("x").Eval(MapSymbols{"x": 7})
+	if err != nil || v != 7 {
+		t.Errorf("Sym eval = %d, %v", v, err)
+	}
+}
+
+func TestQuickLiteralRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		got, ok := Lit(int(v)).ConstValue()
+		return ok && got == int(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdditionAssociativity(t *testing.T) {
+	// Parser must agree with Go on mixed +/- chains of literals.
+	f := func(a, b, c int16) bool {
+		e, err := ParseExpr(Lit(int(a)).String() + "+" + Lit(int(b)).String() + "-" + Lit(int(c)).String())
+		if err != nil {
+			return false
+		}
+		v, ok := e.ConstValue()
+		return ok && v == int(a)+int(b)-int(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

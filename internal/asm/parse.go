@@ -1,0 +1,528 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// regAliases maps register operand spellings to register numbers.
+var regAliases = map[string]uint8{
+	"zero": 0, "sp": 14, "ra": 15,
+}
+
+func parseReg(tok string) (uint8, bool) {
+	if r, ok := regAliases[tok]; ok {
+		return r, true
+	}
+	if len(tok) >= 2 && tok[0] == 'r' {
+		n := 0
+		for _, c := range tok[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n < isa.NumRegs {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+// pseudoInfo describes operand shapes for pseudo-instructions.
+var pseudoByName = map[string]Pseudo{
+	"li": PseudoLI, "la": PseudoLA, "mov": PseudoMOV, "j": PseudoJ,
+	"call": PseudoCALL, "ret": PseudoRET, "not": PseudoNOT, "neg": PseudoNEG,
+	"bgt": PseudoBGT, "ble": PseudoBLE, "bgtu": PseudoBGTU, "bleu": PseudoBLEU,
+	"beqz": PseudoBEQZ, "bnez": PseudoBNEZ,
+}
+
+// Parse parses one assembler source file into a Unit. Item sizes (and hence
+// segment sizes) are final after parsing; encoding happens once the linker
+// has placed segments and built the symbol table.
+func Parse(name, src string) (*Unit, error) {
+	u := &Unit{Name: name}
+	var seg *Segment
+	needSeg := func(line int) error {
+		if seg == nil {
+			return errf(name, line, "statement outside any .code/.data segment")
+		}
+		return nil
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := lineNo + 1
+		text := stripComment(raw)
+
+		// Leading labels (possibly several on one line).
+		for {
+			trimmed := strings.TrimSpace(text)
+			i := strings.IndexByte(trimmed, ':')
+			if i <= 0 || !isIdentifier(trimmed[:i]) {
+				break
+			}
+			if err := needSeg(line); err != nil {
+				return nil, err
+			}
+			seg.Items = append(seg.Items, Item{Kind: ItemLabel, Line: line, Label: trimmed[:i]})
+			text = trimmed[i+1:]
+		}
+
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+
+		if strings.HasPrefix(text, ".") {
+			var err error
+			seg, err = parseDirective(u, seg, text, line)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		if err := needSeg(line); err != nil {
+			return nil, err
+		}
+		if seg.Kind != SegCode {
+			return nil, errf(name, line, "instruction %q in data segment %q", text, seg.Name)
+		}
+		it, err := parseInstr(name, text, line)
+		if err != nil {
+			return nil, err
+		}
+		seg.Items = append(seg.Items, it)
+		seg.size += it.size
+	}
+	return u, nil
+}
+
+func stripComment(s string) string {
+	// Comments start with ';' or "//". Character literals never contain
+	// either, so a simple scan suffices.
+	for i := 0; i < len(s); i++ {
+		if s[i] == ';' {
+			return s[:i]
+		}
+		if s[i] == '/' && i+1 < len(s) && s[i+1] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func isIdentifier(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdent(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func parseDirective(u *Unit, seg *Segment, text string, line int) (*Segment, error) {
+	word, rest := splitWord(text)
+	switch word {
+	case ".code", ".data":
+		segName := strings.TrimSpace(rest)
+		if !isIdentifier(segName) {
+			return seg, errf(u.Name, line, "%s: missing or invalid segment name", word)
+		}
+		kind := SegCode
+		if word == ".data" {
+			kind = SegData
+		}
+		for _, s := range u.Segments {
+			if s.Name == segName {
+				if s.Kind != kind {
+					return seg, errf(u.Name, line, "segment %q reopened with different kind", segName)
+				}
+				return s, nil // reopening appends to the existing segment
+			}
+		}
+		ns := &Segment{Name: segName, Kind: kind}
+		u.Segments = append(u.Segments, ns)
+		return ns, nil
+
+	case ".equ":
+		nameStr, exprStr, ok := strings.Cut(rest, ",")
+		nameStr = strings.TrimSpace(nameStr)
+		if !ok || !isIdentifier(nameStr) {
+			return seg, errf(u.Name, line, ".equ: want \".equ name, expr\"")
+		}
+		e, err := ParseExpr(exprStr)
+		if err != nil {
+			return seg, errf(u.Name, line, ".equ %s: %v", nameStr, err)
+		}
+		u.Equs = append(u.Equs, Equ{Name: nameStr, Expr: e, Line: line})
+		return seg, nil
+
+	case ".word":
+		if seg == nil || seg.Kind != SegData {
+			return seg, errf(u.Name, line, ".word outside a data segment")
+		}
+		var words []*Expr
+		for _, field := range splitOperands(rest) {
+			e, err := ParseExpr(field)
+			if err != nil {
+				return seg, errf(u.Name, line, ".word: %v", err)
+			}
+			words = append(words, e)
+		}
+		if len(words) == 0 {
+			return seg, errf(u.Name, line, ".word: no values")
+		}
+		seg.Items = append(seg.Items, Item{Kind: ItemWord, Line: line, Words: words, size: len(words)})
+		seg.size += len(words)
+		return seg, nil
+
+	case ".space":
+		if seg == nil || seg.Kind != SegData {
+			return seg, errf(u.Name, line, ".space outside a data segment")
+		}
+		e, err := ParseExpr(rest)
+		if err != nil {
+			return seg, errf(u.Name, line, ".space: %v", err)
+		}
+		n, ok := e.ConstValue()
+		if !ok || n < 0 {
+			return seg, errf(u.Name, line, ".space: size must be a non-negative constant")
+		}
+		seg.Items = append(seg.Items, Item{Kind: ItemSpace, Line: line, Space: n, size: n})
+		seg.size += n
+		return seg, nil
+	}
+	return seg, errf(u.Name, line, "unknown directive %q", word)
+}
+
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], s[i+1:]
+}
+
+// splitOperands splits on commas that are not inside parentheses.
+func splitOperands(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" || len(out) > 0 {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func parseInstr(unit, text string, line int) (Item, error) {
+	mnem, rest := splitWord(text)
+	mnem = strings.ToLower(mnem)
+	ops := splitOperands(rest)
+	it := Item{Kind: ItemInstr, Line: line, size: 1}
+
+	if ps, ok := pseudoByName[mnem]; ok {
+		return parsePseudo(unit, ps, mnem, ops, it)
+	}
+
+	op, ok := isa.OpcodeByName[mnem]
+	if !ok {
+		return it, errf(unit, line, "unknown mnemonic %q", mnem)
+	}
+	it.Op = op
+
+	want := func(n int) error {
+		if len(ops) != n {
+			return errf(unit, line, "%s: want %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (uint8, error) {
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return 0, errf(unit, line, "%s: operand %d: bad register %q", mnem, i+1, ops[i])
+		}
+		return r, nil
+	}
+
+	switch op.Fmt() {
+	case isa.FmtR:
+		if err := want(3); err != nil {
+			return it, err
+		}
+		for i := 0; i < 3; i++ {
+			r, err := reg(i)
+			if err != nil {
+				return it, err
+			}
+			it.Regs[i] = r
+		}
+		it.NRegs = 3
+
+	case isa.FmtI:
+		switch op {
+		case isa.OpLW:
+			// lw rd, off(base)
+			if err := want(2); err != nil {
+				return it, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return it, err
+			}
+			base, off, err := parseMemOperand(unit, line, mnem, ops[1])
+			if err != nil {
+				return it, err
+			}
+			it.Regs[0], it.Regs[1] = rd, base
+			it.NRegs, it.Ex = 2, off
+		case isa.OpLUI:
+			if err := want(2); err != nil {
+				return it, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return it, err
+			}
+			e, err := ParseExpr(ops[1])
+			if err != nil {
+				return it, errf(unit, line, "%s: %v", mnem, err)
+			}
+			it.Regs[0], it.NRegs, it.Ex = rd, 1, e
+		default:
+			if err := want(3); err != nil {
+				return it, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return it, err
+			}
+			rs1, err := reg(1)
+			if err != nil {
+				return it, err
+			}
+			e, err := ParseExpr(ops[2])
+			if err != nil {
+				return it, errf(unit, line, "%s: %v", mnem, err)
+			}
+			it.Regs[0], it.Regs[1] = rd, rs1
+			it.NRegs, it.Ex = 2, e
+		}
+
+	case isa.FmtB:
+		if op == isa.OpSW {
+			// sw rs2, off(base)
+			if err := want(2); err != nil {
+				return it, err
+			}
+			rs2, err := reg(0)
+			if err != nil {
+				return it, err
+			}
+			base, off, err := parseMemOperand(unit, line, mnem, ops[1])
+			if err != nil {
+				return it, err
+			}
+			it.Regs[0], it.Regs[1] = rs2, base
+			it.NRegs, it.Ex = 2, off
+			break
+		}
+		// branches: bxx rs1, rs2, target
+		if err := want(3); err != nil {
+			return it, err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return it, err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return it, err
+		}
+		e, err := ParseExpr(ops[2])
+		if err != nil {
+			return it, errf(unit, line, "%s: %v", mnem, err)
+		}
+		it.Regs[0], it.Regs[1] = rs1, rs2
+		it.NRegs, it.Ex = 2, e
+
+	case isa.FmtJ:
+		if err := want(2); err != nil {
+			return it, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return it, err
+		}
+		e, err := ParseExpr(ops[1])
+		if err != nil {
+			return it, errf(unit, line, "%s: %v", mnem, err)
+		}
+		it.Regs[0], it.NRegs, it.Ex = rd, 1, e
+
+	case isa.FmtS:
+		if err := want(1); err != nil {
+			return it, err
+		}
+		arg := ops[0]
+		if !strings.HasPrefix(arg, "#") {
+			return it, errf(unit, line, "%s: sync point must use #literal syntax", mnem)
+		}
+		e, err := ParseExpr(arg[1:])
+		if err != nil {
+			return it, errf(unit, line, "%s: %v", mnem, err)
+		}
+		it.Ex, it.ExIsSync = e, true
+
+	case isa.FmtN:
+		if err := want(0); err != nil {
+			return it, err
+		}
+	}
+	return it, nil
+}
+
+func parseMemOperand(unit string, line int, mnem, s string) (base uint8, off *Expr, err error) {
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, nil, errf(unit, line, "%s: want off(reg), got %q", mnem, s)
+	}
+	r, ok := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if !ok {
+		return 0, nil, errf(unit, line, "%s: bad base register in %q", mnem, s)
+	}
+	offText := strings.TrimSpace(s[:open])
+	if offText == "" {
+		offText = "0"
+	}
+	e, err := ParseExpr(offText)
+	if err != nil {
+		return 0, nil, errf(unit, line, "%s: %v", mnem, err)
+	}
+	return r, e, nil
+}
+
+func parsePseudo(unit string, ps Pseudo, mnem string, ops []string, it Item) (Item, error) {
+	it.Pseudo = ps
+	line := it.Line
+	want := func(n int) error {
+		if len(ops) != n {
+			return errf(unit, line, "%s: want %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (uint8, error) {
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return 0, errf(unit, line, "%s: operand %d: bad register %q", mnem, i+1, ops[i])
+		}
+		return r, nil
+	}
+	expr := func(i int) (*Expr, error) {
+		e, err := ParseExpr(ops[i])
+		if err != nil {
+			return nil, errf(unit, line, "%s: %v", mnem, err)
+		}
+		return e, nil
+	}
+
+	switch ps {
+	case PseudoLI, PseudoLA:
+		if err := want(2); err != nil {
+			return it, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return it, err
+		}
+		e, err := expr(1)
+		if err != nil {
+			return it, err
+		}
+		it.Regs[0], it.NRegs, it.Ex = rd, 1, e
+		// Size is fixed now: a constant fitting the signed 10-bit
+		// immediate takes one ADDI; anything else (including all
+		// symbolic values) reserves the LUI+ORI pair.
+		it.size = 2
+		if ps == PseudoLI {
+			if v, ok := e.ConstValue(); ok && v >= isa.Imm10Min && v <= isa.Imm10Max {
+				it.size = 1
+			}
+		}
+	case PseudoMOV, PseudoNOT, PseudoNEG:
+		if err := want(2); err != nil {
+			return it, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return it, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return it, err
+		}
+		it.Regs[0], it.Regs[1], it.NRegs = rd, rs, 2
+	case PseudoJ, PseudoCALL:
+		if err := want(1); err != nil {
+			return it, err
+		}
+		e, err := expr(0)
+		if err != nil {
+			return it, err
+		}
+		it.Ex = e
+	case PseudoRET:
+		if err := want(0); err != nil {
+			return it, err
+		}
+	case PseudoBGT, PseudoBLE, PseudoBGTU, PseudoBLEU:
+		if err := want(3); err != nil {
+			return it, err
+		}
+		a, err := reg(0)
+		if err != nil {
+			return it, err
+		}
+		b, err := reg(1)
+		if err != nil {
+			return it, err
+		}
+		e, err := expr(2)
+		if err != nil {
+			return it, err
+		}
+		it.Regs[0], it.Regs[1], it.NRegs, it.Ex = a, b, 2, e
+	case PseudoBEQZ, PseudoBNEZ:
+		if err := want(2); err != nil {
+			return it, err
+		}
+		a, err := reg(0)
+		if err != nil {
+			return it, err
+		}
+		e, err := expr(1)
+		if err != nil {
+			return it, err
+		}
+		it.Regs[0], it.NRegs, it.Ex = a, 1, e
+	}
+	return it, nil
+}

@@ -1,0 +1,304 @@
+// Package core implements the paper's primary contribution: the lightweight
+// synchronizer unit and the semantics of its synchronization points
+// (Braojos et al., DATE 2014, §III).
+//
+// A synchronization point is one reserved 16-bit word in shared data memory.
+// Its most significant 8 bits hold one flag per core; the least significant
+// 8 bits an up/down counter (paper Fig. 3):
+//
+//	SINC #p: set issuing core's flag, increment the counter
+//	SNOP #p: set issuing core's flag only
+//	SDEC #p: decrement the counter; when it reaches zero the synchronizer
+//	         resumes every flagged core and clears the flags
+//	SLEEP:   clock-gate the issuing core until the next synchronization event
+//
+// All synchronization instructions issued in the same clock cycle on the same
+// point are merged into a single consistent memory modification (§III-B).
+//
+// The unit also forwards peripheral interrupts: cores subscribe to interrupt
+// sources through a memory-mapped register, SLEEP, and are resumed when a
+// subscribed interrupt arrives.
+//
+// Wake-up races (a synchronization event arriving while the target core is
+// still running, before it executes SLEEP) are closed with a per-core event
+// token, analogous to the ARM WFE/SEV event register: a wake delivered to a
+// running core latches the token, and SLEEP with a latched token consumes it
+// and falls through without gating. This detail is not spelled out in the
+// paper; it is the minimal hardware that makes the published protocol
+// race-free.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/power"
+)
+
+// CoreState is the synchronizer's view of one core's clock/power state.
+type CoreState uint8
+
+// Core states.
+const (
+	StateRunning CoreState = iota
+	StateGated             // clock-gated by SLEEP, waiting for an event
+	StateHalted            // stopped by HALT (end of program)
+	StateOff               // not instantiated in this configuration
+)
+
+func (s CoreState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateGated:
+		return "gated"
+	case StateHalted:
+		return "halted"
+	case StateOff:
+		return "off"
+	}
+	return fmt.Sprintf("state?%d", uint8(s))
+}
+
+// Point is the architectural value of one synchronization point.
+type Point struct {
+	Flags   uint8 // bit c set: core c is registered on this point
+	Counter uint8 // up/down counter; wake triggers on an SDEC reaching 0
+}
+
+// Value packs the point into its in-memory 16-bit representation.
+func (p Point) Value() uint16 { return uint16(p.Flags)<<8 | uint16(p.Counter) }
+
+// op is one posted synchronization operation awaiting end-of-cycle commit.
+type op struct {
+	core  int
+	kind  isa.Opcode // OpSINC, OpSDEC or OpSNOP
+	point int
+}
+
+// Synchronizer is the hardware unit orchestrating the run-time behaviour of
+// the multi-core system: it tracks synchronization points, merges same-cycle
+// operations, clock-gates and resumes cores, and forwards interrupts.
+type Synchronizer struct {
+	nc      int
+	npoints int
+	points  []Point
+
+	state  [isa.MaxCores]CoreState
+	wakeAt [isa.MaxCores]uint64 // cycle at which a waking core resumes fetch
+	token  [isa.MaxCores]bool   // per-core event token (WFE/SEV semantics)
+
+	irqSub  [isa.MaxCores]uint16
+	irqPend [isa.MaxCores]uint16
+
+	pending []op
+	cycle   uint64
+
+	ctr *power.Counters
+
+	// Mirror, when set, write-throughs committed point values to their
+	// reserved shared-DM locations (point index == word address).
+	Mirror func(point int, value uint16)
+
+	// violations records protocol errors (counter underflow/overflow,
+	// out-of-range point ids), capped to keep memory bounded.
+	violations []string
+}
+
+// WakeLatency is the number of cycles between the synchronization event
+// (commit of the releasing SDEC at cycle T) and the resumed core's next
+// fetch (cycle T+WakeLatency). Two cycles make a woken core and the core
+// that issued the releasing SDEC resume on exactly the same cycle: the
+// releaser executes its own SLEEP at T+1 (falling through via its event
+// token) and fetches the next instruction at T+2, which is what restores
+// lock-step execution after divergent branches.
+const WakeLatency = 2
+
+const maxViolations = 16
+
+// NewSynchronizer returns a synchronizer for nc cores and npoints
+// synchronization points, accounting activity into ctr. Cores outside
+// [0,nc) are StateOff.
+func NewSynchronizer(nc, npoints int, ctr *power.Counters) *Synchronizer {
+	if nc <= 0 || nc > isa.MaxCores {
+		panic(fmt.Sprintf("core: invalid core count %d", nc))
+	}
+	s := &Synchronizer{
+		nc:      nc,
+		npoints: npoints,
+		points:  make([]Point, npoints),
+		ctr:     ctr,
+	}
+	for c := nc; c < isa.MaxCores; c++ {
+		s.state[c] = StateOff
+	}
+	return s
+}
+
+// NumPoints returns the configured number of synchronization points.
+func (s *Synchronizer) NumPoints() int { return s.npoints }
+
+// State returns the synchronizer's view of core c.
+func (s *Synchronizer) State(c int) CoreState { return s.state[c] }
+
+// PointState returns the architectural value of point p.
+func (s *Synchronizer) PointState(p int) Point { return s.points[p] }
+
+// Violations returns recorded protocol errors (nil when the run was clean).
+func (s *Synchronizer) Violations() []string { return s.violations }
+
+func (s *Synchronizer) violate(format string, args ...any) {
+	if len(s.violations) < maxViolations {
+		s.violations = append(s.violations, fmt.Sprintf("cycle %d: ", s.cycle)+fmt.Sprintf(format, args...))
+	}
+}
+
+// Post queues a synchronization operation issued by core c this cycle.
+// kind must be OpSINC, OpSDEC or OpSNOP.
+func (s *Synchronizer) Post(c int, kind isa.Opcode, point int) {
+	if point < 0 || point >= s.npoints {
+		s.violate("core %d: %v on out-of-range point %d", c, kind, point)
+		return
+	}
+	s.pending = append(s.pending, op{core: c, kind: kind, point: point})
+}
+
+// RequestSleep handles core c executing SLEEP. It returns true when the core
+// must clock-gate; false when a latched event token absorbs the request and
+// execution falls through.
+func (s *Synchronizer) RequestSleep(c int) bool {
+	if s.token[c] {
+		s.token[c] = false
+		return false
+	}
+	s.state[c] = StateGated
+	return true
+}
+
+// Halt marks core c permanently stopped.
+func (s *Synchronizer) Halt(c int) { s.state[c] = StateHalted }
+
+// Runnable reports whether core c may fetch at the given cycle, accounting
+// for wake latency.
+func (s *Synchronizer) Runnable(c int, cycle uint64) bool {
+	return s.state[c] == StateRunning && cycle >= s.wakeAt[c]
+}
+
+// wake resumes core c (or latches its event token when it is running).
+func (s *Synchronizer) wake(c int) {
+	switch s.state[c] {
+	case StateGated:
+		s.state[c] = StateRunning
+		s.wakeAt[c] = s.cycle + WakeLatency
+		s.ctr.SyncWakes++
+	case StateRunning:
+		s.token[c] = true
+	}
+}
+
+// SetSubscription sets core c's interrupt-source mask (MMIO RegIRQSub).
+func (s *Synchronizer) SetSubscription(c int, mask uint16) { s.irqSub[c] = mask }
+
+// Subscription returns core c's interrupt-source mask.
+func (s *Synchronizer) Subscription(c int) uint16 { return s.irqSub[c] }
+
+// Pending returns core c's pending subscribed interrupts (MMIO RegIRQPend).
+func (s *Synchronizer) Pending(c int) uint16 { return s.irqPend[c] }
+
+// ClearPending clears the given pending bits for core c.
+func (s *Synchronizer) ClearPending(c int, mask uint16) { s.irqPend[c] &^= mask }
+
+// RaiseIRQ delivers an interrupt source to every subscribed core, waking
+// gated subscribers and latching event tokens for running ones.
+func (s *Synchronizer) RaiseIRQ(source uint16) {
+	s.ctr.IRQs++
+	for c := 0; c < s.nc; c++ {
+		if s.irqSub[c]&source != 0 {
+			s.irqPend[c] |= source
+			s.wake(c)
+		}
+	}
+}
+
+// Commit merges and applies all synchronization operations posted during the
+// cycle, performing exactly one consistent memory modification per touched
+// point, and issues the resulting wake-ups. Call once at the end of every
+// platform cycle, passing the cycle number just simulated.
+func (s *Synchronizer) Commit(cycle uint64) {
+	s.cycle = cycle
+	if len(s.pending) == 0 {
+		return
+	}
+	s.ctr.SyncOps += uint64(len(s.pending))
+
+	// Merge per point. The pending list is tiny (at most one op per core),
+	// so a quadratic grouping scan beats allocating a map every cycle.
+	for i := 0; i < len(s.pending); i++ {
+		if s.pending[i].point < 0 {
+			continue // already consumed by an earlier group
+		}
+		p := s.pending[i].point
+		var setFlags uint8
+		incs, decs, nops := 0, 0, 0
+		for j := i; j < len(s.pending); j++ {
+			o := &s.pending[j]
+			if o.point != p {
+				continue
+			}
+			switch o.kind {
+			case isa.OpSINC:
+				setFlags |= 1 << uint(o.core)
+				incs++
+			case isa.OpSNOP:
+				setFlags |= 1 << uint(o.core)
+				nops++
+			case isa.OpSDEC:
+				decs++
+			}
+			if j > i {
+				o.point = -1 // consumed
+				s.ctr.SyncMerged++
+			}
+		}
+		_ = nops
+		s.apply(p, setFlags, incs, decs)
+	}
+	s.pending = s.pending[:0]
+}
+
+// apply performs the single merged read-modify-write of point p.
+func (s *Synchronizer) apply(p int, setFlags uint8, incs, decs int) {
+	pt := &s.points[p]
+	pt.Flags |= setFlags
+	delta := incs - decs
+	nv := int(pt.Counter) + delta
+	if nv < 0 {
+		s.violate("point %d: counter underflow (%d%+d)", p, pt.Counter, delta)
+		nv = 0
+	}
+	if nv > 255 {
+		s.violate("point %d: counter overflow (%d%+d)", p, pt.Counter, delta)
+		nv = 255
+	}
+	pt.Counter = uint8(nv)
+
+	// Paper §III-B: when an SDEC brings the counter to zero, all cores
+	// registered in the identification flags are resumed and the point is
+	// cleared. The wake is edge-triggered on SDEC so that a consumer
+	// registering (SNOP) on an already-idle point keeps sleeping until the
+	// next production cycle completes.
+	if decs > 0 && pt.Counter == 0 && pt.Flags != 0 {
+		flags := pt.Flags
+		pt.Flags = 0
+		for c := 0; c < s.nc; c++ {
+			if flags&(1<<uint(c)) != 0 {
+				s.wake(c)
+			}
+		}
+	}
+
+	s.ctr.SyncPointWrites++
+	if s.Mirror != nil {
+		s.Mirror(p, pt.Value())
+	}
+}

@@ -1,0 +1,241 @@
+// Package cpu models the platform's computing cores: 16-bit RISC machines
+// with a three-stage pipeline with forwarding paths (paper §IV-A), extended
+// with the synchronization ISE. The package holds the architectural state
+// and the pure instruction semantics; fetch/memory arbitration and the cycle
+// loop are orchestrated by internal/platform, which owns the shared fabric.
+//
+// Timing model: CPI 1 with forwarding; taken branches and jumps insert
+// BranchPenalty bubble cycles (the three-stage pipeline refills); memory
+// bank conflicts stall the issuing core until granted. Wrong-path
+// speculative fetches during bubbles are not simulated (their energy is
+// ignored; documented simplification).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// BranchPenalty is the number of bubble cycles a taken branch or jump costs.
+const BranchPenalty = 1
+
+// Env is the core's window onto the synchronizer. It is implemented by the
+// platform (and by test fakes).
+type Env interface {
+	// PostSync queues a SINC/SDEC/SNOP on a synchronization point.
+	PostSync(core int, kind isa.Opcode, point int)
+	// RequestSleep handles SLEEP; it returns true when the core must gate.
+	RequestSleep(core int) bool
+	// Halt reports the core stopping permanently.
+	Halt(core int)
+}
+
+// Core is one computing unit's architectural and pipeline state.
+type Core struct {
+	ID   int
+	Regs [isa.NumRegs]uint16
+	PC   int
+
+	// Pipeline/cycle-loop state managed by the platform:
+
+	// Fetched is true when the current instruction was already fetched in
+	// an earlier cycle (the core was stalled on a data-memory conflict);
+	// the instruction is held in IR and must not be re-fetched (and its
+	// fetch must not be re-counted).
+	Fetched bool
+	// IR is the held instruction when Fetched.
+	IR isa.Instr
+	// Bubble is the number of pipeline-refill cycles left to burn after a
+	// taken branch.
+	Bubble int
+}
+
+// New returns a core with cleared state starting at entry.
+func New(id, entry int) *Core {
+	return &Core{ID: id, PC: entry}
+}
+
+// Reset rewinds the core to a clean state at entry.
+func (c *Core) Reset(entry int) {
+	*c = Core{ID: c.ID, PC: entry}
+}
+
+// Effect reports what an executed instruction did, for the platform's cycle
+// accounting.
+type Effect struct {
+	Taken  bool // control transfer happened: charge BranchPenalty bubbles
+	Gated  bool // core requested SLEEP and was granted gating
+	Halted bool // core stopped
+	Fault  error
+}
+
+// MemOp describes the data-memory access an instruction needs, computed
+// before execution so the platform can arbitrate the crossbar.
+type MemOp struct {
+	Addr  uint16
+	Write bool
+	Data  uint16 // store value for writes
+	Valid bool
+}
+
+// MemRequest returns the data access ins needs, with addresses computed from
+// the current register state.
+func (c *Core) MemRequest(ins isa.Instr) MemOp {
+	switch ins.Op {
+	case isa.OpLW:
+		return MemOp{Addr: c.Regs[ins.Rs1] + uint16(ins.Imm), Valid: true}
+	case isa.OpSW:
+		return MemOp{Addr: c.Regs[ins.Rs1] + uint16(ins.Imm), Write: true, Data: c.Regs[ins.Rs2], Valid: true}
+	}
+	return MemOp{}
+}
+
+// Execute applies ins to the core's state. loadVal carries the memory word
+// for LW (the platform performed the read during arbitration). The returned
+// Effect tells the platform how to account the cycle.
+func (c *Core) Execute(ins isa.Instr, loadVal uint16, env Env) Effect {
+	var eff Effect
+	nextPC := c.PC + 1
+	setRd := func(v uint16) {
+		if ins.Rd != 0 {
+			c.Regs[ins.Rd] = v
+		}
+	}
+	rs1 := c.Regs[ins.Rs1]
+	rs2 := c.Regs[ins.Rs2]
+
+	switch ins.Op {
+	case isa.OpNOP:
+	case isa.OpADD:
+		setRd(rs1 + rs2)
+	case isa.OpSUB:
+		setRd(rs1 - rs2)
+	case isa.OpAND:
+		setRd(rs1 & rs2)
+	case isa.OpOR:
+		setRd(rs1 | rs2)
+	case isa.OpXOR:
+		setRd(rs1 ^ rs2)
+	case isa.OpSLL:
+		setRd(rs1 << (rs2 & 15))
+	case isa.OpSRL:
+		setRd(rs1 >> (rs2 & 15))
+	case isa.OpSRA:
+		setRd(uint16(int16(rs1) >> (rs2 & 15)))
+	case isa.OpMUL:
+		setRd(uint16(int32(int16(rs1)) * int32(int16(rs2))))
+	case isa.OpMULH:
+		setRd(uint16(int32(int16(rs1)) * int32(int16(rs2)) >> 16))
+	case isa.OpSLT:
+		setRd(boolTo16(int16(rs1) < int16(rs2)))
+	case isa.OpSLTU:
+		setRd(boolTo16(rs1 < rs2))
+	case isa.OpMIN:
+		setRd(uint16(min16(int16(rs1), int16(rs2))))
+	case isa.OpMAX:
+		setRd(uint16(max16(int16(rs1), int16(rs2))))
+	case isa.OpMINU:
+		if rs1 < rs2 {
+			setRd(rs1)
+		} else {
+			setRd(rs2)
+		}
+	case isa.OpMAXU:
+		if rs1 > rs2 {
+			setRd(rs1)
+		} else {
+			setRd(rs2)
+		}
+
+	case isa.OpADDI:
+		setRd(rs1 + uint16(ins.Imm))
+	case isa.OpANDI:
+		setRd(rs1 & uint16(ins.Imm))
+	case isa.OpORI:
+		setRd(rs1 | uint16(ins.Imm))
+	case isa.OpXORI:
+		setRd(rs1 ^ uint16(ins.Imm))
+	case isa.OpSLLI:
+		setRd(rs1 << (uint16(ins.Imm) & 15))
+	case isa.OpSRLI:
+		setRd(rs1 >> (uint16(ins.Imm) & 15))
+	case isa.OpSRAI:
+		setRd(uint16(int16(rs1) >> (uint16(ins.Imm) & 15)))
+	case isa.OpSLTI:
+		setRd(boolTo16(int16(rs1) < int16(ins.Imm)))
+	case isa.OpLUI:
+		setRd(uint16(ins.Imm) << 6)
+
+	case isa.OpLW:
+		setRd(loadVal)
+	case isa.OpSW:
+		// The platform performed the write during arbitration.
+
+	case isa.OpBEQ:
+		eff.Taken = rs1 == rs2
+	case isa.OpBNE:
+		eff.Taken = rs1 != rs2
+	case isa.OpBLT:
+		eff.Taken = int16(rs1) < int16(rs2)
+	case isa.OpBGE:
+		eff.Taken = int16(rs1) >= int16(rs2)
+	case isa.OpBLTU:
+		eff.Taken = rs1 < rs2
+	case isa.OpBGEU:
+		eff.Taken = rs1 >= rs2
+
+	case isa.OpJAL:
+		setRd(uint16(c.PC + 1))
+		nextPC = c.PC + 1 + int(ins.Imm)
+		eff.Taken = true
+	case isa.OpJALR:
+		target := int(rs1+uint16(ins.Imm)) & (isa.IMWords - 1)
+		setRd(uint16(c.PC + 1))
+		nextPC = target
+		eff.Taken = true
+
+	case isa.OpSINC, isa.OpSDEC, isa.OpSNOP:
+		env.PostSync(c.ID, ins.Op, int(ins.Imm))
+	case isa.OpSLEEP:
+		eff.Gated = env.RequestSleep(c.ID)
+	case isa.OpHALT:
+		env.Halt(c.ID)
+		eff.Halted = true
+
+	default:
+		eff.Fault = fmt.Errorf("cpu: core %d at pc %#x: invalid opcode %d", c.ID, c.PC, ins.Op)
+		return eff
+	}
+
+	if ins.Op.IsBranch() && eff.Taken {
+		nextPC = c.PC + 1 + int(ins.Imm)
+	}
+	c.PC = nextPC & (isa.IMWords - 1)
+	if eff.Taken {
+		c.Bubble += BranchPenalty
+	}
+	c.Fetched = false
+	return eff
+}
+
+func boolTo16(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func min16(a, b int16) int16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b int16) int16 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,295 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// fakeEnv records synchronizer interactions.
+type fakeEnv struct {
+	posts  []string
+	sleeps int
+	grant  bool
+	halted bool
+}
+
+func (f *fakeEnv) PostSync(core int, kind isa.Opcode, point int) {
+	f.posts = append(f.posts, kind.String())
+}
+func (f *fakeEnv) RequestSleep(core int) bool { f.sleeps++; return f.grant }
+func (f *fakeEnv) Halt(core int)              { f.halted = true }
+
+func exec(t *testing.T, c *Core, ins isa.Instr, load uint16) Effect {
+	t.Helper()
+	env := &fakeEnv{grant: true}
+	eff := c.Execute(ins, load, env)
+	if eff.Fault != nil {
+		t.Fatalf("Execute(%v): %v", ins, eff.Fault)
+	}
+	return eff
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Opcode
+		a, b uint16
+		want uint16
+	}{
+		{isa.OpADD, 3, 4, 7},
+		{isa.OpADD, 0xFFFF, 1, 0}, // wraparound
+		{isa.OpSUB, 3, 4, 0xFFFF},
+		{isa.OpAND, 0xF0F0, 0xFF00, 0xF000},
+		{isa.OpOR, 0xF0F0, 0x0F00, 0xFFF0},
+		{isa.OpXOR, 0xFFFF, 0x00FF, 0xFF00},
+		{isa.OpSLL, 1, 15, 0x8000},
+		{isa.OpSLL, 1, 16, 1}, // shift amount masked to 4 bits
+		{isa.OpSRL, 0x8000, 15, 1},
+		{isa.OpSRA, 0x8000, 15, 0xFFFF}, // arithmetic: sign extends
+		{isa.OpMUL, 300, 300, uint16(90000 & 0xFFFF)},
+		{isa.OpMUL, 0xFFFF, 2, 0xFFFE},       // -1 * 2 = -2
+		{isa.OpMULH, 0x4000, 0x4000, 0x1000}, // 16384^2 >> 16
+		{isa.OpSLT, 0xFFFF, 0, 1},            // -1 < 0 signed
+		{isa.OpSLTU, 0xFFFF, 0, 0},           // unsigned
+		{isa.OpMIN, 0xFFFF, 1, 0xFFFF},       // signed min(-1,1) = -1
+		{isa.OpMAX, 0xFFFF, 1, 1},
+		{isa.OpMINU, 0xFFFF, 1, 1},
+		{isa.OpMAXU, 0xFFFF, 1, 0xFFFF},
+	}
+	for _, tc := range cases {
+		c := New(0, 0)
+		c.Regs[1], c.Regs[2] = tc.a, tc.b
+		exec(t, c, isa.Instr{Op: tc.op, Rd: 3, Rs1: 1, Rs2: 2}, 0)
+		if c.Regs[3] != tc.want {
+			t.Errorf("%v(%#x,%#x) = %#x, want %#x", tc.op, tc.a, tc.b, c.Regs[3], tc.want)
+		}
+		if c.PC != 1 {
+			t.Errorf("%v: PC = %d, want 1", tc.op, c.PC)
+		}
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Opcode
+		a    uint16
+		imm  int32
+		want uint16
+	}{
+		{isa.OpADDI, 10, -3, 7},
+		{isa.OpANDI, 0xFFFF, 0xF, 0xF},
+		{isa.OpORI, 0xFF00, 0x3F, 0xFF3F},
+		{isa.OpXORI, 0x00FF, -1, 0xFF00},
+		{isa.OpSLLI, 1, 8, 0x100},
+		{isa.OpSRLI, 0x100, 8, 1},
+		{isa.OpSRAI, 0x8000, 8, 0xFF80},
+		{isa.OpSLTI, 0xFFFF, 0, 1},
+		{isa.OpLUI, 0, 0x3FF, 0xFFC0},
+	}
+	for _, tc := range cases {
+		c := New(0, 0)
+		c.Regs[1] = tc.a
+		exec(t, c, isa.Instr{Op: tc.op, Rd: 3, Rs1: 1, Imm: tc.imm}, 0)
+		if c.Regs[3] != tc.want {
+			t.Errorf("%v(%#x, %d) = %#x, want %#x", tc.op, tc.a, tc.imm, c.Regs[3], tc.want)
+		}
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	c := New(0, 0)
+	c.Regs[1] = 99
+	exec(t, c, isa.Instr{Op: isa.OpADD, Rd: 0, Rs1: 1, Rs2: 1}, 0)
+	if c.Regs[0] != 0 {
+		t.Error("write to r0 must be discarded")
+	}
+	exec(t, c, isa.Instr{Op: isa.OpLW, Rd: 0, Rs1: 1}, 1234)
+	if c.Regs[0] != 0 {
+		t.Error("load to r0 must be discarded")
+	}
+}
+
+func TestBranches(t *testing.T) {
+	cases := []struct {
+		op    isa.Opcode
+		a, b  uint16
+		taken bool
+	}{
+		{isa.OpBEQ, 5, 5, true},
+		{isa.OpBEQ, 5, 6, false},
+		{isa.OpBNE, 5, 6, true},
+		{isa.OpBLT, 0xFFFF, 0, true}, // -1 < 0
+		{isa.OpBLT, 0, 0xFFFF, false},
+		{isa.OpBGE, 0, 0xFFFF, true},
+		{isa.OpBLTU, 0, 0xFFFF, true},
+		{isa.OpBGEU, 0xFFFF, 0, true},
+	}
+	for _, tc := range cases {
+		c := New(0, 10)
+		c.Regs[1], c.Regs[2] = tc.a, tc.b
+		eff := exec(t, c, isa.Instr{Op: tc.op, Rs1: 1, Rs2: 2, Imm: 5}, 0)
+		if eff.Taken != tc.taken {
+			t.Errorf("%v(%#x,%#x): taken = %v, want %v", tc.op, tc.a, tc.b, eff.Taken, tc.taken)
+		}
+		wantPC := 11
+		wantBubble := 0
+		if tc.taken {
+			wantPC = 16 // 10 + 1 + 5
+			wantBubble = BranchPenalty
+		}
+		if c.PC != wantPC || c.Bubble != wantBubble {
+			t.Errorf("%v: PC=%d bubble=%d, want PC=%d bubble=%d", tc.op, c.PC, c.Bubble, wantPC, wantBubble)
+		}
+	}
+}
+
+func TestJALAndJALR(t *testing.T) {
+	c := New(0, 100)
+	eff := exec(t, c, isa.Instr{Op: isa.OpJAL, Rd: 15, Imm: -50}, 0)
+	if !eff.Taken || c.PC != 51 || c.Regs[15] != 101 {
+		t.Errorf("JAL: PC=%d ra=%d taken=%v", c.PC, c.Regs[15], eff.Taken)
+	}
+	c2 := New(0, 200)
+	c2.Regs[15] = 101
+	eff = exec(t, c2, isa.Instr{Op: isa.OpJALR, Rd: 0, Rs1: 15, Imm: 0}, 0)
+	if !eff.Taken || c2.PC != 101 {
+		t.Errorf("JALR: PC=%d", c2.PC)
+	}
+}
+
+func TestMemRequest(t *testing.T) {
+	c := New(0, 0)
+	c.Regs[2] = 0x1000
+	c.Regs[3] = 0xABCD
+	op := c.MemRequest(isa.Instr{Op: isa.OpLW, Rd: 1, Rs1: 2, Imm: 4})
+	if !op.Valid || op.Write || op.Addr != 0x1004 {
+		t.Errorf("LW request = %+v", op)
+	}
+	op = c.MemRequest(isa.Instr{Op: isa.OpSW, Rs1: 2, Rs2: 3, Imm: -1})
+	if !op.Valid || !op.Write || op.Addr != 0x0FFF || op.Data != 0xABCD {
+		t.Errorf("SW request = %+v", op)
+	}
+	op = c.MemRequest(isa.Instr{Op: isa.OpADD})
+	if op.Valid {
+		t.Error("ALU ops need no memory request")
+	}
+}
+
+func TestLoadWritesRegister(t *testing.T) {
+	c := New(0, 0)
+	exec(t, c, isa.Instr{Op: isa.OpLW, Rd: 5, Rs1: 0, Imm: 16}, 0xCAFE)
+	if c.Regs[5] != 0xCAFE {
+		t.Errorf("LW loaded %#x", c.Regs[5])
+	}
+}
+
+func TestSyncInstructionsReachEnv(t *testing.T) {
+	c := New(3, 0)
+	env := &fakeEnv{grant: true}
+	c.Execute(isa.Instr{Op: isa.OpSINC, Imm: 2}, 0, env)
+	c.Execute(isa.Instr{Op: isa.OpSDEC, Imm: 2}, 0, env)
+	c.Execute(isa.Instr{Op: isa.OpSNOP, Imm: 1}, 0, env)
+	if len(env.posts) != 3 || env.posts[0] != "sinc" || env.posts[1] != "sdec" || env.posts[2] != "snop" {
+		t.Errorf("posts = %v", env.posts)
+	}
+	if c.PC != 3 {
+		t.Errorf("PC after sync ops = %d, want 3", c.PC)
+	}
+}
+
+func TestSleepGrantedAndDenied(t *testing.T) {
+	c := New(0, 0)
+	env := &fakeEnv{grant: true}
+	eff := c.Execute(isa.Instr{Op: isa.OpSLEEP}, 0, env)
+	if !eff.Gated || c.PC != 1 {
+		t.Errorf("granted sleep: gated=%v PC=%d", eff.Gated, c.PC)
+	}
+	env.grant = false // event token pending: fall through
+	eff = c.Execute(isa.Instr{Op: isa.OpSLEEP}, 0, env)
+	if eff.Gated || c.PC != 2 {
+		t.Errorf("denied sleep: gated=%v PC=%d", eff.Gated, c.PC)
+	}
+	if env.sleeps != 2 {
+		t.Errorf("sleeps = %d", env.sleeps)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	c := New(0, 7)
+	env := &fakeEnv{}
+	eff := c.Execute(isa.Instr{Op: isa.OpHALT}, 0, env)
+	if !eff.Halted || !env.halted {
+		t.Error("HALT must stop the core")
+	}
+}
+
+func TestInvalidOpcodeFaults(t *testing.T) {
+	c := New(0, 0)
+	eff := c.Execute(isa.Instr{Op: isa.Opcode(60)}, 0, &fakeEnv{})
+	if eff.Fault == nil {
+		t.Error("invalid opcode must fault")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(2, 5)
+	c.Regs[3] = 7
+	c.Bubble = 1
+	c.Fetched = true
+	c.Reset(9)
+	if c.PC != 9 || c.Regs[3] != 0 || c.Bubble != 0 || c.Fetched || c.ID != 2 {
+		t.Errorf("Reset left state: %+v", c)
+	}
+}
+
+func TestQuickAddMatchesInt16(t *testing.T) {
+	f := func(a, b int16) bool {
+		c := New(0, 0)
+		c.Regs[1], c.Regs[2] = uint16(a), uint16(b)
+		c.Execute(isa.Instr{Op: isa.OpADD, Rd: 3, Rs1: 1, Rs2: 2}, 0, &fakeEnv{})
+		return int16(c.Regs[3]) == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinMaxConsistent(t *testing.T) {
+	f := func(a, b int16) bool {
+		c := New(0, 0)
+		c.Regs[1], c.Regs[2] = uint16(a), uint16(b)
+		c.Execute(isa.Instr{Op: isa.OpMIN, Rd: 3, Rs1: 1, Rs2: 2}, 0, &fakeEnv{})
+		c.Execute(isa.Instr{Op: isa.OpMAX, Rd: 4, Rs1: 1, Rs2: 2}, 0, &fakeEnv{})
+		lo, hi := int16(c.Regs[3]), int16(c.Regs[4])
+		if lo > hi {
+			return false
+		}
+		return (lo == a || lo == b) && (hi == a || hi == b) && lo <= a && lo <= b && hi >= a && hi >= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMULMatchesGo(t *testing.T) {
+	f := func(a, b int16) bool {
+		c := New(0, 0)
+		c.Regs[1], c.Regs[2] = uint16(a), uint16(b)
+		c.Execute(isa.Instr{Op: isa.OpMUL, Rd: 3, Rs1: 1, Rs2: 2}, 0, &fakeEnv{})
+		c.Execute(isa.Instr{Op: isa.OpMULH, Rd: 4, Rs1: 1, Rs2: 2}, 0, &fakeEnv{})
+		p := int32(a) * int32(b)
+		return c.Regs[3] == uint16(p) && c.Regs[4] == uint16(p>>16)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCWrapsAtIMBoundary(t *testing.T) {
+	c := New(0, isa.IMWords-1)
+	exec(t, c, isa.Instr{Op: isa.OpNOP}, 0)
+	if c.PC != 0 {
+		t.Errorf("PC after last word = %d, want 0 (wrap)", c.PC)
+	}
+}

@@ -1,0 +1,131 @@
+package dsp
+
+import "fmt"
+
+// RPParams configures the random-projection heartbeat classifier
+// (Braojos et al., DATE 2013): a window around each detected beat is
+// projected onto K random +-1 vectors and labelled by the nearest centroid
+// in the projected space.
+type RPParams struct {
+	Window     int    // samples per beat window
+	Pre        int    // samples before the R peak included in the window
+	K          int    // number of projections
+	InShift    int    // input prescale (arithmetic right shift) against overflow
+	ProjShift  int    // projection postscale before the distance computation
+	BeatThr    int16  // beat-detector threshold on the conditioned lead
+	Refractory int    // beat-detector refractory, samples
+	Seed       uint32 // projection-matrix seed
+}
+
+// DefaultRPParams returns the classifier tuning used by the benchmarks.
+// Worst-case analysis: |x>>3| <= 4096, sum of 32 terms <= 32*4096 — still
+// too big, but conditioned ECG magnitudes stay below ~2000 LSB, so after
+// the >>3 prescale the projection sum is bounded by 32*250 = 8000 and the
+// L1 distance over 8 postscaled terms by 8*4000; both fit int16 comfortably.
+func DefaultRPParams() RPParams {
+	return RPParams{Window: 32, Pre: 15, K: 8, InShift: 3, ProjShift: 2, BeatThr: 500, Refractory: 50, Seed: 0x1234}
+}
+
+// RPMatrix generates the deterministic +-1 projection matrix (K x Window),
+// from a tiny xorshift PRNG so the same table can be embedded in the
+// generated program's data segment.
+func RPMatrix(p RPParams) [][]int16 {
+	state := p.Seed | 1
+	next := func() uint32 {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		return state
+	}
+	m := make([][]int16, p.K)
+	for k := range m {
+		m[k] = make([]int16, p.Window)
+		for w := range m[k] {
+			if next()&1 == 1 {
+				m[k][w] = 1
+			} else {
+				m[k][w] = -1
+			}
+		}
+	}
+	return m
+}
+
+// Project maps one beat window (length p.Window) into the K-dimensional
+// projected space with the exact integer steps of the generated kernel:
+// prescale inputs by >>InShift, accumulate +-1 dot products, postscale by
+// >>ProjShift.
+func Project(window []int16, m [][]int16, p RPParams) []int16 {
+	y := make([]int16, p.K)
+	for k := 0; k < p.K; k++ {
+		var acc int16
+		for w := 0; w < p.Window; w++ {
+			v := window[w] >> p.InShift
+			if m[k][w] > 0 {
+				acc += v
+			} else {
+				acc -= v
+			}
+		}
+		y[k] = acc >> p.ProjShift
+	}
+	return y
+}
+
+// L1Dist is the Manhattan distance between projected vectors.
+func L1Dist(a, b []int16) int16 {
+	var d int16
+	for i := range a {
+		d += abs16(a[i] - b[i])
+	}
+	return d
+}
+
+// Classify labels a projected beat: true = pathological. Ties go to normal.
+func Classify(y, centNormal, centPatho []int16) bool {
+	return L1Dist(y, centPatho) < L1Dist(y, centNormal)
+}
+
+// Centroids are the trained class centers embedded in the program image.
+type Centroids struct {
+	Normal, Patho []int16
+}
+
+// TrainCentroids computes class centers from a labelled conditioned lead:
+// for each annotated beat whose window fits, project and average per class.
+// This offline step substitutes the paper's pre-trained classifier.
+func TrainCentroids(conditioned []int16, beats []int, labels []bool, m [][]int16, p RPParams) (Centroids, error) {
+	if len(beats) != len(labels) {
+		return Centroids{}, fmt.Errorf("dsp: %d beats vs %d labels", len(beats), len(labels))
+	}
+	sumN := make([]int32, p.K)
+	sumP := make([]int32, p.K)
+	nN, nP := 0, 0
+	for i, r := range beats {
+		lo := r - p.Pre
+		if lo < 0 || lo+p.Window > len(conditioned) {
+			continue
+		}
+		y := Project(conditioned[lo:lo+p.Window], m, p)
+		if labels[i] {
+			for k, v := range y {
+				sumP[k] += int32(v)
+			}
+			nP++
+		} else {
+			for k, v := range y {
+				sumN[k] += int32(v)
+			}
+			nN++
+		}
+	}
+	if nN == 0 || nP == 0 {
+		return Centroids{}, fmt.Errorf("dsp: training needs both classes (normal %d, pathological %d)", nN, nP)
+	}
+	c := Centroids{Normal: make([]int16, p.K), Patho: make([]int16, p.K)}
+	for k := 0; k < p.K; k++ {
+		c.Normal[k] = int16(sumN[k] / int32(nN))
+		c.Patho[k] = int16(sumP[k] / int32(nP))
+	}
+	return c, nil
+}

@@ -1,0 +1,154 @@
+package dsp
+
+// MMDParams sizes the multi-scale morphological-derivative delineator.
+type MMDParams struct {
+	Scale1     int   // short scale, sharpens onset/offset (samples)
+	Scale2     int   // long scale, robust R detection (samples)
+	Thr        int16 // detection threshold on the derivative magnitude
+	PeakWin    int   // samples to search for the derivative peak after crossing
+	Refractory int   // samples to ignore after an emitted QRS (0.2 s)
+	EdgeDiv    int   // onset/offset edge threshold = peak >> EdgeDiv
+	EdgeWin    int   // max samples to scan for onset/offset around the peak
+}
+
+// DefaultMMDParams returns the delineator tuning used by the benchmarks.
+func DefaultMMDParams() MMDParams {
+	return MMDParams{Scale1: 6, Scale2: 12, Thr: 400, PeakWin: 12, Refractory: 50, EdgeDiv: 3, EdgeWin: 25}
+}
+
+// Combine3 merges three conditioned leads into the single detection stream
+// the delineator consumes: the sum of magnitudes, halved for headroom.
+func Combine3(a, b, c int16) int16 {
+	return (abs16(a) + abs16(b) + abs16(c)) >> 1
+}
+
+func abs16(v int16) int16 {
+	// Branchless form matching the generated code: mask = v >> 15;
+	// |v| = (v ^ mask) - mask.
+	m := v >> 15
+	return (v ^ m) - m
+}
+
+// MMDerivative computes the morphological derivative at one scale:
+// d[n] = max(x[n-s..n]) + min(x[n-s..n]) - 2*x[n-s/2], with pre-record
+// samples reading 0. A large |d| marks a steep slope pair — the QRS.
+func MMDerivative(x []int16, s int) []int16 {
+	d := make([]int16, len(x))
+	for n := range x {
+		mx, mn := int16(-32768+32767), int16(0) // placeholders; set below
+		first := true
+		for j := n - s; j <= n; j++ {
+			var v int16
+			if j >= 0 {
+				v = x[j]
+			}
+			if first {
+				mx, mn = v, v
+				first = false
+				continue
+			}
+			if v > mx {
+				mx = v
+			}
+			if v < mn {
+				mn = v
+			}
+		}
+		var center int16
+		if n-s/2 >= 0 {
+			center = x[n-s/2]
+		}
+		d[n] = mx + mn - 2*center
+	}
+	return d
+}
+
+// DetectionStream returns det[n] = (|d_s1[n]| + |d_s2[n]|) >> 1, the
+// multi-scale magnitude the detector thresholds.
+func DetectionStream(x []int16, p MMDParams) []int16 {
+	d1 := MMDerivative(x, p.Scale1)
+	d2 := MMDerivative(x, p.Scale2)
+	det := make([]int16, len(x))
+	for n := range det {
+		det[n] = (abs16(d1[n]) + abs16(d2[n])) >> 1
+	}
+	return det
+}
+
+// Fiducials is one delineated QRS complex, in detection-stream time (which
+// lags raw time by the conditioning delay).
+type Fiducials struct {
+	Onset, Peak, Offset int
+}
+
+// Delineate runs the full 3L-MMD back-end over a combined conditioned
+// stream: thresholding with peak search and refractory, then onset/offset
+// localization where the derivative magnitude falls below peak>>EdgeDiv.
+func Delineate(combined []int16, p MMDParams) []Fiducials {
+	det := DetectionStream(combined, p)
+	var out []Fiducials
+	lastEnd := -p.Refractory - 1
+	n := 0
+	for n < len(det) {
+		if det[n] < p.Thr || n-lastEnd <= p.Refractory {
+			n++
+			continue
+		}
+		// Crossing: search the derivative peak in the next PeakWin samples.
+		peak, peakV := n, det[n]
+		for j := n + 1; j < len(det) && j <= n+p.PeakWin; j++ {
+			if det[j] > peakV {
+				peak, peakV = j, det[j]
+			}
+		}
+		edge := peakV >> p.EdgeDiv
+		onset := peak
+		for j := peak; j >= 0 && j >= peak-p.EdgeWin; j-- {
+			if det[j] < edge {
+				break
+			}
+			onset = j
+		}
+		offset := peak
+		for j := peak; j < len(det) && j <= peak+p.EdgeWin; j++ {
+			if det[j] < edge {
+				break
+			}
+			offset = j
+		}
+		out = append(out, Fiducials{Onset: onset, Peak: peak, Offset: offset})
+		lastEnd = peak
+		n = peak + 1
+	}
+	return out
+}
+
+// DelineateStreamed matches the streaming hardware delineator: identical to
+// Delineate except that a QRS whose edge window extends past the processed
+// samples is still pending and not reported. Use it to compare against a
+// simulator run that processed exactly len(combined) samples.
+func DelineateStreamed(combined []int16, p MMDParams) []Fiducials {
+	all := Delineate(combined, p)
+	var out []Fiducials
+	for _, f := range all {
+		if f.Peak+p.EdgeWin < len(combined) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// DetectPeaks is the simple amplitude beat detector the RP-CLASS front-end
+// uses on one conditioned lead: a beat fires at n-1 when x[n-1] >= thr,
+// x[n] < x[n-1] and the refractory interval has elapsed.
+func DetectPeaks(x []int16, thr int16, refractory int) []int {
+	var beats []int
+	last := -refractory - 1
+	for n := 1; n < len(x); n++ {
+		if x[n-1] >= thr && x[n] < x[n-1] && n-1-last > refractory {
+			beats = append(beats, n-1)
+			last = n - 1
+		}
+	}
+	return beats
+}

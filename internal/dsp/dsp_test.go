@@ -1,0 +1,434 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecg"
+)
+
+func randSignal(seed int64, n int, amp int) []int16 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]int16, n)
+	for i := range x {
+		x[i] = int16(rng.Intn(2*amp) - amp)
+	}
+	return x
+}
+
+func TestErodeDilateBasics(t *testing.T) {
+	x := []int16{3, 1, 4, 1, 5, 9, 2, 6}
+	e := ErodeCausal(x, 3)
+	d := DilateCausal(x, 3)
+	wantE := []int16{0, 0, 1, 1, 1, 1, 2, 2}
+	wantD := []int16{3, 3, 4, 4, 5, 9, 9, 9}
+	for i := range x {
+		if e[i] != wantE[i] {
+			t.Errorf("erode[%d] = %d, want %d", i, e[i], wantE[i])
+		}
+		if d[i] != wantD[i] {
+			t.Errorf("dilate[%d] = %d, want %d", i, d[i], wantD[i])
+		}
+	}
+}
+
+func TestQuickErosionDilationBounds(t *testing.T) {
+	f := func(seed int64, lRaw uint8) bool {
+		l := int(lRaw%20) + 1
+		x := randSignal(seed, 100, 1000)
+		e := ErodeCausal(x, l)
+		d := DilateCausal(x, l)
+		for i := range x {
+			// With zero padding, erosion can only dip below x via the
+			// padding or window minima; it must never exceed x, and
+			// dilation never fall below x (for i >= l-1 exactly).
+			if i >= l-1 {
+				if e[i] > x[i] || d[i] < x[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickErodeDilateDuality(t *testing.T) {
+	f := func(seed int64, lRaw uint8) bool {
+		l := int(lRaw%20) + 1
+		x := randSignal(seed, 80, 1000)
+		neg := make([]int16, len(x))
+		for i := range x {
+			neg[i] = -x[i]
+		}
+		e := ErodeCausal(x, l)
+		d := DilateCausal(neg, l)
+		for i := range x {
+			if e[i] != -d[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpeningIdempotentUpToShift(t *testing.T) {
+	// The causal erode-dilate pair is a true morphological opening
+	// composed with a shift of L-1 samples, so applying it twice equals
+	// applying it once to a stream delayed by L-1: open2[n] == open1[n-(L-1)].
+	const l = 9
+	x := randSignal(7, 300, 800)
+	open := func(v []int16) []int16 { return DilateCausal(ErodeCausal(v, l), l) }
+	a := open(x)
+	b := open(a)
+	for n := 3 * l; n < len(x); n++ { // skip zero-padding warm-up
+		if b[n] != a[n-(l-1)] {
+			t.Fatalf("shifted idempotence violated at %d: %d vs %d", n, b[n], a[n-(l-1)])
+		}
+	}
+}
+
+func TestStreamingMatchesBatch(t *testing.T) {
+	p := DefaultMFParams()
+	x := randSignal(42, 600, 1500)
+	batch := MorphFilter(x, p)
+	st := NewMFState(p)
+	for i, v := range x {
+		if got := st.Push(v); got != batch[i] {
+			t.Fatalf("streaming diverges at %d: %d vs %d", i, got, batch[i])
+		}
+	}
+}
+
+func TestQuickStreamingMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		p := MFParams{LOpen: 7, LClose: 11, LNoise: 3}
+		x := randSignal(seed, 150, 2000)
+		batch := MorphFilter(x, p)
+		st := NewMFState(p)
+		for i, v := range x {
+			if st.Push(v) != batch[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMorphFilterRemovesBaselineWander(t *testing.T) {
+	cfg := ecg.DefaultConfig()
+	cfg.BaselineAmp = 150
+	cfg.NoiseAmp = 0
+	sig, err := ecg.Synthesize(cfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultMFParams()
+	y := MorphFilter(sig.Leads[0], p)
+	// Between beats the conditioned signal must hover near zero even
+	// though the raw signal rides a 150 LSB wander. Compare mean absolute
+	// level over inter-beat segments.
+	var rawSum, outSum, n int64
+	for _, b := range sig.Beats {
+		// Sample 90..60 before each beat (iso-electric region).
+		for d := 60; d < 90; d++ {
+			i := b.RPeak - d
+			j := i + p.TotalDelay()
+			if i < 0 || j >= len(y) {
+				continue
+			}
+			rawSum += int64(absInt(int(sig.Leads[0][i])))
+			outSum += int64(absInt(int(y[j])))
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no iso-electric samples examined")
+	}
+	raw, out := float64(rawSum)/float64(n), float64(outSum)/float64(n)
+	if out > raw/2 {
+		t.Errorf("baseline not removed: raw level %.1f, conditioned %.1f", raw, out)
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMorphFilterPreservesRPeaks(t *testing.T) {
+	cfg := ecg.DefaultConfig()
+	sig, err := ecg.Synthesize(cfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultMFParams()
+	y := MorphFilter(sig.Leads[0], p)
+	delay := p.TotalDelay()
+	found := 0
+	for _, b := range sig.Beats {
+		c := b.RPeak + delay
+		if c+5 >= len(y) || c-5 < 0 {
+			continue
+		}
+		var peak int16
+		for j := c - 5; j <= c+5; j++ {
+			if y[j] > peak {
+				peak = y[j]
+			}
+		}
+		if peak > 600 {
+			found++
+		}
+	}
+	if found < len(sig.Beats)*8/10 {
+		t.Errorf("only %d/%d R peaks survive conditioning", found, len(sig.Beats))
+	}
+}
+
+func TestMMDerivativeZeroOnConstant(t *testing.T) {
+	x := make([]int16, 50)
+	for i := range x {
+		x[i] = 700
+	}
+	d := MMDerivative(x, 6)
+	for i := 12; i < len(d); i++ { // past zero-padding warm-up
+		if d[i] != 0 {
+			t.Fatalf("derivative of constant = %d at %d", d[i], i)
+		}
+	}
+}
+
+func TestMMDerivativePeaksOnSpike(t *testing.T) {
+	x := make([]int16, 60)
+	x[30] = 2000
+	d := MMDerivative(x, 6)
+	var peak int16
+	for _, v := range d {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 1500 {
+		t.Errorf("spike derivative peak = %d, want large", peak)
+	}
+}
+
+func TestDelineateOnSyntheticECG(t *testing.T) {
+	cfg := ecg.DefaultConfig()
+	sig, err := ecg.Synthesize(cfg, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := DefaultMFParams()
+	var leads [3][]int16
+	for l := 0; l < 3; l++ {
+		leads[l] = MorphFilter(sig.Leads[l], mf)
+	}
+	combined := make([]int16, len(leads[0]))
+	for n := range combined {
+		combined[n] = Combine3(leads[0][n], leads[1][n], leads[2][n])
+	}
+	fids := Delineate(combined, DefaultMMDParams())
+
+	delay := mf.TotalDelay()
+	tol := 10
+	matched := 0
+	used := make([]bool, len(fids))
+	for _, b := range sig.Beats {
+		want := b.RPeak + delay
+		for i, f := range fids {
+			if !used[i] && absInt(f.Peak-want) <= tol {
+				used[i] = true
+				matched++
+				break
+			}
+		}
+	}
+	sens := float64(matched) / float64(len(sig.Beats))
+	prec := float64(matched) / float64(len(fids))
+	if sens < 0.90 {
+		t.Errorf("delineation sensitivity = %.2f (%d/%d)", sens, matched, len(sig.Beats))
+	}
+	if prec < 0.90 {
+		t.Errorf("delineation precision = %.2f (%d detections)", prec, len(fids))
+	}
+	for _, f := range fids {
+		if !(f.Onset <= f.Peak && f.Peak <= f.Offset) {
+			t.Fatalf("fiducials out of order: %+v", f)
+		}
+	}
+}
+
+func TestDetectPeaksSemantics(t *testing.T) {
+	// Triangle pulses at known positions.
+	x := make([]int16, 100)
+	for _, c := range []int{20, 60} {
+		for d := -3; d <= 3; d++ {
+			x[c+d] = int16(800 - 150*absInt(d))
+		}
+	}
+	beats := DetectPeaks(x, 500, 10)
+	if len(beats) != 2 || beats[0] != 20 || beats[1] != 60 {
+		t.Errorf("beats = %v, want [20 60]", beats)
+	}
+}
+
+func TestDetectPeaksRefractory(t *testing.T) {
+	x := make([]int16, 60)
+	for _, c := range []int{10, 14} { // two close peaks
+		x[c] = 900
+	}
+	beats := DetectPeaks(x, 500, 20)
+	if len(beats) != 1 {
+		t.Errorf("refractory violated: beats = %v", beats)
+	}
+}
+
+func TestRPMatrixDeterministicPlusMinusOne(t *testing.T) {
+	p := DefaultRPParams()
+	a := RPMatrix(p)
+	b := RPMatrix(p)
+	plus := 0
+	for k := range a {
+		for w := range a[k] {
+			if a[k][w] != b[k][w] {
+				t.Fatal("matrix not deterministic")
+			}
+			if a[k][w] != 1 && a[k][w] != -1 {
+				t.Fatalf("entry %d not +-1", a[k][w])
+			}
+			if a[k][w] == 1 {
+				plus++
+			}
+		}
+	}
+	total := p.K * p.Window
+	if plus < total/4 || plus > 3*total/4 {
+		t.Errorf("matrix unbalanced: %d/%d positive", plus, total)
+	}
+}
+
+func TestProjectLinearity(t *testing.T) {
+	p := DefaultRPParams()
+	p.InShift = 0
+	p.ProjShift = 0
+	m := RPMatrix(p)
+	x := make([]int16, p.Window)
+	for i := range x {
+		x[i] = int16(i)
+	}
+	y := Project(x, m, p)
+	// Doubling the input doubles the projection (no shifts configured).
+	x2 := make([]int16, p.Window)
+	for i := range x2 {
+		x2[i] = 2 * x[i]
+	}
+	y2 := Project(x2, m, p)
+	for k := range y {
+		if y2[k] != 2*y[k] {
+			t.Errorf("projection not linear at %d: %d vs 2*%d", k, y2[k], y[k])
+		}
+	}
+}
+
+func TestL1Dist(t *testing.T) {
+	a := []int16{1, -2, 3}
+	b := []int16{-1, 2, 3}
+	if d := L1Dist(a, b); d != 6 {
+		t.Errorf("L1 = %d, want 6", d)
+	}
+	if d := L1Dist(a, a); d != 0 {
+		t.Errorf("L1(a,a) = %d", d)
+	}
+	if L1Dist(a, b) != L1Dist(b, a) {
+		t.Error("L1 not symmetric")
+	}
+}
+
+func TestClassifierEndToEnd(t *testing.T) {
+	cfg := ecg.DefaultConfig()
+	cfg.PathologicalFrac = 0.3
+	sig, err := ecg.Synthesize(cfg, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := DefaultMFParams()
+	cond := MorphFilter(sig.Leads[0], mf)
+	delay := mf.TotalDelay()
+	p := DefaultRPParams()
+	m := RPMatrix(p)
+
+	// Ground-truth-aligned beat windows in conditioned time.
+	var beats []int
+	var labels []bool
+	for _, b := range sig.Beats {
+		beats = append(beats, b.RPeak+delay)
+		labels = append(labels, b.Pathological)
+	}
+	half := len(beats) / 2
+	cents, err := TrainCentroids(cond, beats[:half], labels[:half], m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for i := half; i < len(beats); i++ {
+		lo := beats[i] - p.Pre
+		if lo < 0 || lo+p.Window > len(cond) {
+			continue
+		}
+		y := Project(cond[lo:lo+p.Window], m, p)
+		if Classify(y, cents.Normal, cents.Patho) == labels[i] {
+			correct++
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.85 {
+		t.Errorf("classifier accuracy = %.2f (%d/%d)", acc, correct, total)
+	}
+}
+
+func TestTrainCentroidsErrors(t *testing.T) {
+	p := DefaultRPParams()
+	m := RPMatrix(p)
+	if _, err := TrainCentroids(make([]int16, 100), []int{50}, []bool{true, false}, m, p); err == nil {
+		t.Error("want length-mismatch error")
+	}
+	if _, err := TrainCentroids(make([]int16, 100), []int{50}, []bool{true}, m, p); err == nil {
+		t.Error("want single-class error")
+	}
+}
+
+func TestCombine3(t *testing.T) {
+	if got := Combine3(-100, 200, -300); got != 300 {
+		t.Errorf("Combine3 = %d, want 300", got)
+	}
+	if got := Combine3(0, 0, 0); got != 0 {
+		t.Errorf("Combine3 zero = %d", got)
+	}
+}
+
+func TestAbs16MatchesBranchless(t *testing.T) {
+	f := func(v int16) bool {
+		want := v
+		if v < 0 {
+			want = -v
+		}
+		return abs16(v) == want || v == -32768 // -32768 has no positive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

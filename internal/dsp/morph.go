@@ -1,0 +1,205 @@
+// Package dsp provides bit-exact integer reference implementations (golden
+// models) of the three benchmark signal chains from the paper (§IV-D):
+//
+//   - morphological filtering for ECG conditioning (3L-MF), after
+//     Sun et al., "ECG signal conditioning by morphological filtering",
+//     Computers in Biology and Medicine, 2002;
+//   - delineation using multi-scale morphological derivatives (3L-MMD),
+//     after Rincon et al., IEEE TITB 2011;
+//   - heartbeat classification using random projections (RP-CLASS), after
+//     Braojos et al., DATE 2013.
+//
+// All arithmetic is 16-bit integer with arithmetic shifts, exactly what the
+// generated WB16 programs compute, so simulator output can be compared
+// word-for-word against these models.
+package dsp
+
+// MFParams sizes the morphological-filter structuring elements (in samples
+// at 250 Hz). The opening/closing pair removes baseline wander; the short
+// pair suppresses noise (Sun et al. 2002).
+type MFParams struct {
+	LOpen  int // baseline opening structuring-element length (~0.15 s)
+	LClose int // baseline closing structuring-element length (~0.23 s)
+	LNoise int // noise-suppression structuring-element length
+}
+
+// DefaultMFParams returns the element lengths used by the benchmarks
+// (0.16 s and 0.24 s at 250 Hz, after Sun et al.'s 0.2 s/0.3 s pair).
+func DefaultMFParams() MFParams {
+	return MFParams{LOpen: 41, LClose: 61, LNoise: 5}
+}
+
+// BaselineDelay is the group delay of the baseline estimator: the detrended
+// output at index n subtracts the baseline from x[n-BaselineDelay].
+func (p MFParams) BaselineDelay() int { return p.LOpen + p.LClose - 2 }
+
+// TotalDelay is the delay of the fully conditioned output relative to the
+// raw input.
+func (p MFParams) TotalDelay() int { return p.BaselineDelay() + p.LNoise - 1 }
+
+// ErodeCausal computes the causal flat erosion with window length L:
+// y[n] = min(x[n-L+1] .. x[n]), treating samples before the record as 0.
+func ErodeCausal(x []int16, l int) []int16 {
+	return slideCausal(x, l, false)
+}
+
+// DilateCausal computes the causal flat dilation with window length L:
+// y[n] = max(x[n-L+1] .. x[n]), treating samples before the record as 0.
+func DilateCausal(x []int16, l int) []int16 {
+	return slideCausal(x, l, true)
+}
+
+// slideCausal is the shared naive O(N*L) sliding min/max — deliberately the
+// same algorithm the 16-bit cores run, so cycle counts and results align.
+func slideCausal(x []int16, l int, useMax bool) []int16 {
+	y := make([]int16, len(x))
+	for n := range x {
+		var acc int16
+		for j := n - l + 1; j <= n; j++ {
+			var v int16
+			if j >= 0 {
+				v = x[j]
+			}
+			if j == n-l+1 {
+				acc = v
+				continue
+			}
+			if useMax {
+				if v > acc {
+					acc = v
+				}
+			} else {
+				if v < acc {
+					acc = v
+				}
+			}
+		}
+		y[n] = acc
+	}
+	return y
+}
+
+// MorphFilter conditions one ECG lead: baseline removal by an opening-closing
+// cascade, then noise suppression by the average of a dilation-of-erosion and
+// an erosion-of-dilation with a short element (Sun et al. 2002, eq. 2-4).
+// The output is delayed by p.TotalDelay() samples relative to the input.
+func MorphFilter(x []int16, p MFParams) []int16 {
+	// Baseline estimation: opening (erode, dilate) then closing (dilate,
+	// erode) with the longer element.
+	open := DilateCausal(ErodeCausal(x, p.LOpen), p.LOpen)
+	baseline := ErodeCausal(DilateCausal(open, p.LClose), p.LClose)
+
+	// Detrending with delay alignment: the causal cascade delays the
+	// baseline by BaselineDelay samples, so subtract it from the
+	// correspondingly delayed input.
+	d := make([]int16, len(x))
+	delay := p.BaselineDelay()
+	for n := range x {
+		var xd int16
+		if n-delay >= 0 {
+			xd = x[n-delay]
+		}
+		d[n] = xd - baseline[n]
+	}
+
+	// Noise suppression: y = (dilate(erode(d)) + erode(dilate(d))) >> 1.
+	a := DilateCausal(ErodeCausal(d, p.LNoise), p.LNoise)
+	b := ErodeCausal(DilateCausal(d, p.LNoise), p.LNoise)
+	y := make([]int16, len(x))
+	for n := range y {
+		y[n] = (a[n] + b[n]) >> 1
+	}
+	return y
+}
+
+// MFState is the streaming (per-sample) form of MorphFilter, structured the
+// way the WB16 kernels are generated: one ring buffer per stage, naive
+// window scans. Push consumes one raw sample and returns one conditioned
+// sample (delayed by TotalDelay).
+type MFState struct {
+	p MFParams
+
+	raw   *ring // raw input, long enough to reach x[n-BaselineDelay]
+	ero   *ring // after opening's erosion
+	opn   *ring // after opening
+	dil   *ring // after closing's dilation
+	det   *ring // detrended
+	nsEro *ring // noise stage: erosion of detrended
+	nsDil *ring // noise stage: dilation of detrended
+}
+
+// NewMFState returns a streaming conditioner.
+func NewMFState(p MFParams) *MFState {
+	return &MFState{
+		p:     p,
+		raw:   newRing(p.BaselineDelay() + 1),
+		ero:   newRing(p.LOpen),
+		opn:   newRing(p.LClose),
+		dil:   newRing(p.LClose),
+		det:   newRing(p.LNoise),
+		nsEro: newRing(p.LNoise),
+		nsDil: newRing(p.LNoise),
+	}
+}
+
+// Push processes one sample.
+func (s *MFState) Push(x int16) int16 {
+	s.raw.push(x)
+	s.ero.push(s.raw.min(s.p.LOpen))
+	s.opn.push(s.ero.max(s.p.LOpen))
+	s.dil.push(s.opn.max(s.p.LClose))
+	baseline := s.dil.min(s.p.LClose)
+	d := s.raw.at(s.p.BaselineDelay()) - baseline
+	s.det.push(d)
+	s.nsEro.push(s.det.min(s.p.LNoise))
+	s.nsDil.push(s.det.max(s.p.LNoise))
+	return (s.nsEro.max(s.p.LNoise) + s.nsDil.min(s.p.LNoise)) >> 1
+}
+
+// ring is a zero-initialized circular buffer over int16, matching the
+// zero-filled private-memory buffers of the generated programs.
+type ring struct {
+	buf []int16
+	pos int // index of the most recent sample
+}
+
+func newRing(n int) *ring {
+	return &ring{buf: make([]int16, n), pos: n - 1}
+}
+
+func (r *ring) push(v int16) {
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+	}
+	r.buf[r.pos] = v
+}
+
+// at returns the sample d positions back (d=0 is the most recent).
+func (r *ring) at(d int) int16 {
+	i := r.pos - d
+	if i < 0 {
+		i += len(r.buf)
+	}
+	return r.buf[i]
+}
+
+func (r *ring) min(l int) int16 {
+	acc := r.at(l - 1)
+	for d := l - 2; d >= 0; d-- {
+		if v := r.at(d); v < acc {
+			acc = v
+		}
+	}
+	return acc
+}
+
+func (r *ring) max(l int) int16 {
+	acc := r.at(l - 1)
+	for d := l - 2; d >= 0; d-- {
+		if v := r.at(d); v > acc {
+			acc = v
+		}
+	}
+	return acc
+}

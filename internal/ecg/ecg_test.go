@@ -1,0 +1,199 @@
+package ecg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func synth(t *testing.T, cfg Config, dur float64) *Signal {
+	t.Helper()
+	s, err := Synthesize(cfg, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDeterminism(t *testing.T) {
+	a := synth(t, DefaultConfig(), 10)
+	b := synth(t, DefaultConfig(), 10)
+	for l := range a.Leads {
+		for i := range a.Leads[l] {
+			if a.Leads[l][i] != b.Leads[l][i] {
+				t.Fatalf("lead %d sample %d differs: %d vs %d", l, i, a.Leads[l][i], b.Leads[l][i])
+			}
+		}
+	}
+	if len(a.Beats) != len(b.Beats) {
+		t.Error("beat annotations differ")
+	}
+}
+
+func TestSeedChangesSignal(t *testing.T) {
+	cfg := DefaultConfig()
+	a := synth(t, cfg, 5)
+	cfg.Seed = 2
+	b := synth(t, cfg, 5)
+	same := true
+	for i := range a.Leads[0] {
+		if a.Leads[0][i] != b.Leads[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must produce different signals")
+	}
+}
+
+func TestBeatRateMatchesHeartRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HeartRateBPM = 72
+	s := synth(t, cfg, 60)
+	if got := len(s.Beats); got < 66 || got > 78 {
+		t.Errorf("beats in 60s at 72 bpm = %d, want ~72", got)
+	}
+}
+
+func TestDurationAndLeads(t *testing.T) {
+	s := synth(t, DefaultConfig(), 4)
+	if s.Samples() != 1000 {
+		t.Errorf("samples = %d, want 1000", s.Samples())
+	}
+	for l := range s.Leads {
+		if len(s.Leads[l]) != 1000 {
+			t.Errorf("lead %d has %d samples", l, len(s.Leads[l]))
+		}
+	}
+}
+
+func TestPathologicalFraction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PathologicalFrac = 0.2
+	s := synth(t, cfg, 300)
+	frac := float64(s.PathologicalCount()) / float64(len(s.Beats))
+	if math.Abs(frac-0.2) > 0.06 {
+		t.Errorf("pathological fraction = %.3f, want ~0.20", frac)
+	}
+}
+
+func TestZeroAndFullPathological(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PathologicalFrac = 0
+	if s := synth(t, cfg, 30); s.PathologicalCount() != 0 {
+		t.Error("0% config produced ectopics")
+	}
+	cfg.PathologicalFrac = 1
+	if s := synth(t, cfg, 30); s.PathologicalCount() != len(s.Beats) {
+		t.Error("100% config produced normals")
+	}
+}
+
+func TestAmplitudeInRange(t *testing.T) {
+	s := synth(t, DefaultConfig(), 30)
+	var peak int16
+	for _, v := range s.Leads[0] {
+		if v > peak {
+			peak = v
+		}
+	}
+	// R amplitude 1200 plus wander/noise headroom.
+	if peak < 900 || peak > 1800 {
+		t.Errorf("lead 0 peak = %d, want around 1200", peak)
+	}
+}
+
+func TestLeadGainsOrdered(t *testing.T) {
+	s := synth(t, DefaultConfig(), 30)
+	peaks := [NumLeads]int16{}
+	for l := range s.Leads {
+		for _, v := range s.Leads[l] {
+			if v > peaks[l] {
+				peaks[l] = v
+			}
+		}
+	}
+	if !(peaks[0] > peaks[1] && peaks[1] > peaks[2]) {
+		t.Errorf("lead peaks not ordered by gain: %v", peaks)
+	}
+}
+
+func TestRPeakAnnotationsPointAtMaxima(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BaselineAmp = 0
+	cfg.NoiseAmp = 0
+	s := synth(t, cfg, 20)
+	for _, b := range s.Beats {
+		if b.RPeak < 3 || b.RPeak > s.Samples()-4 {
+			continue
+		}
+		// The annotated R peak must be a local maximum region.
+		v := s.Leads[0][b.RPeak]
+		if v < int16(0.8*cfg.RAmplitude) {
+			t.Errorf("beat at %d: amplitude %d below 80%% of R", b.RPeak, v)
+		}
+	}
+}
+
+func TestBeatsSortedAndSpaced(t *testing.T) {
+	s := synth(t, DefaultConfig(), 60)
+	minRR := int(0.2 * s.Cfg.SampleRateHz) // 200 ms refractory floor
+	for i := 1; i < len(s.Beats); i++ {
+		d := s.Beats[i].RPeak - s.Beats[i-1].RPeak
+		if d <= 0 {
+			t.Fatalf("beats not sorted at %d", i)
+		}
+		if d < minRR {
+			t.Errorf("RR of %d samples below physiological floor", d)
+		}
+	}
+}
+
+func TestOnsetOffsetBracketRPeak(t *testing.T) {
+	s := synth(t, DefaultConfig(), 20)
+	for _, b := range s.Beats {
+		if !(b.Onset < b.RPeak && b.RPeak < b.Offset) {
+			t.Fatalf("beat annotation not ordered: %+v", b)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleRateHz = 0
+	if _, err := Synthesize(cfg, 10); err == nil {
+		t.Error("want error for zero rate")
+	}
+	cfg = DefaultConfig()
+	cfg.PathologicalFrac = 1.5
+	if _, err := Synthesize(cfg, 10); err == nil {
+		t.Error("want error for fraction > 1")
+	}
+	if _, err := Synthesize(DefaultConfig(), 0); err == nil {
+		t.Error("want error for zero duration")
+	}
+}
+
+func TestQuickSynthesisStaysBounded(t *testing.T) {
+	f := func(seed int64, fracRaw uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.PathologicalFrac = float64(fracRaw%101) / 100
+		s, err := Synthesize(cfg, 5)
+		if err != nil {
+			return false
+		}
+		for l := range s.Leads {
+			for _, v := range s.Leads[l] {
+				if v > 4000 || v < -4000 {
+					return false
+				}
+			}
+		}
+		return len(s.Beats) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

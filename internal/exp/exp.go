@@ -1,0 +1,230 @@
+// Package exp reproduces the paper's evaluation (§IV-V): it solves each
+// configuration's operating point (minimum real-time clock frequency, then
+// minimum supply voltage from the VFS table), measures calibrated average
+// power over extended simulated time, and regenerates Table I, Figure 6 and
+// Figure 7.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/ecg"
+	"repro/internal/platform"
+	"repro/internal/power"
+)
+
+// Options parameterizes an experiment run. Durations trade fidelity for
+// wall-clock time; the paper simulates 60 s per configuration.
+type Options struct {
+	// Duration is the simulated time of the measured run, seconds.
+	Duration float64
+	// ProbeDuration is the simulated time used to estimate and verify the
+	// minimum frequency, seconds.
+	ProbeDuration float64
+	// PathoFrac is the pathological-beat share for RP-CLASS (Table I: 0.2).
+	PathoFrac float64
+	// Seed selects the synthetic record.
+	Seed int64
+}
+
+// DefaultOptions returns a configuration balancing fidelity and runtime
+// (the cmd tool exposes the paper's full 60 s).
+func DefaultOptions() Options {
+	return Options{Duration: 10, ProbeDuration: 2.5, PathoFrac: 0.2, Seed: 1}
+}
+
+func (o Options) signal(app string) (*ecg.Signal, error) {
+	cfg := ecg.DefaultConfig()
+	cfg.Seed = o.Seed
+	if app == apps.RPClass {
+		cfg.PathologicalFrac = o.PathoFrac
+	}
+	// Synthesize enough signal to cover probe and measurement without
+	// trace wrap-around mattering (the ADC loops the trace anyway).
+	dur := o.Duration
+	if dur < o.ProbeDuration {
+		dur = o.ProbeDuration
+	}
+	return ecg.Synthesize(cfg, dur+2)
+}
+
+// probeSignal returns the record used for operating-point solving. RP-CLASS
+// is dimensioned for its worst case — pathological beats can always occur at
+// run time — so the probe record carries a generous ectopic share even when
+// the measured record carries fewer (this also keeps the Figure 7 sweep at a
+// single, share-independent operating point per architecture, mirroring the
+// paper's fixed 3.3/1.0 MHz rows).
+func (o Options) probeSignal(app string) (*ecg.Signal, error) {
+	cfg := ecg.DefaultConfig()
+	cfg.Seed = o.Seed + 101
+	if app == apps.RPClass {
+		// Worst case by construction: every beat triggers the
+		// delineation chain during dimensioning.
+		cfg.PathologicalFrac = 1.0
+	}
+	return ecg.Synthesize(cfg, o.ProbeDuration+2)
+}
+
+// probeClockHz is the generous clock for the busy-cycle estimation run.
+const probeClockHz = 8e6
+
+// freqMargin is the safety factor applied to the estimated demand.
+const freqMargin = 1.08
+
+// OperatingPoint is one solved configuration.
+type OperatingPoint struct {
+	FreqHz   float64
+	VoltageV float64
+}
+
+// SolveOperatingPoint finds the minimum clock meeting real time for the
+// given application/architecture (paper §V-A: "the system clock frequency is
+// reduced to the minimum in order to exploit the benefits of VFS"), then the
+// minimum voltage sustaining it. Useful work per second is frequency
+// independent (idle cores are clock-gated), so the demand is estimated from
+// the busiest core at a generous clock and verified at the candidate,
+// escalating on real-time violations.
+func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Options) (OperatingPoint, error) {
+	probeSig, err := opts.probeSignal(app)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	// Active waiting keeps cores busy at any frequency, so the no-sync
+	// variant's demand cannot be estimated from its own busy counters; the
+	// proposed system's demand seeds the search and the verification loop
+	// escalates past the divergence-serialization penalty the missing
+	// lock-step recovery causes.
+	demandArch := arch
+	if arch == power.MCNoSync {
+		demandArch = power.MC
+	}
+	v, err := apps.Build(app, demandArch)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	p, err := v.NewPlatform(probeSig, probeClockHz, 1.0)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	if err := p.RunSeconds(opts.ProbeDuration); err != nil {
+		return OperatingPoint{}, fmt.Errorf("exp: %s/%v probe: %w", app, arch, err)
+	}
+	if err := checkRealTime(p); err != nil {
+		return OperatingPoint{}, fmt.Errorf("exp: %s/%v probe at %.0f Hz: %w", app, arch, probeClockHz, err)
+	}
+	var busiest uint64
+	for c := 0; c < v.Cores; c++ {
+		if b := p.CoreBusy(c); b > busiest {
+			busiest = b
+		}
+	}
+	demand := float64(busiest) / opts.ProbeDuration
+	if arch == power.SC {
+		// Sequential workloads carry the per-sample deadline on one
+		// core: the worst busy window within a sample period binds.
+		if peak := float64(p.MaxSampleBusy()) * apps.SampleRateHz; peak > demand {
+			demand = peak
+		}
+	}
+	demand *= freqMargin
+
+	vfs := power.DefaultVFS()
+	for try := 0; try < 12; try++ {
+		freq := power.ClampFreq(demand)
+		op, err := power.MinVoltage(vfs, arch, freq)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		// Verify the candidate meets real time.
+		vv, err := apps.Build(app, arch)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		pp, err := vv.NewPlatform(sig, freq, op.VoltageV)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		if err := pp.RunSeconds(opts.ProbeDuration); err != nil {
+			return OperatingPoint{}, err
+		}
+		if err := checkRealTime(pp); err != nil {
+			demand *= 1.2
+			continue
+		}
+		if arch == power.MCNoSync {
+			// Divergence-induced deadline misses are bursty: a point
+			// that verifies over the probe window can still slip over
+			// longer runs. Extra headroom is strictly safe for the
+			// busy-wait variant (idle cycles are spent spinning).
+			freq *= 1.1
+			op, err = power.MinVoltage(vfs, arch, freq)
+			if err != nil {
+				return OperatingPoint{}, err
+			}
+		}
+		return OperatingPoint{FreqHz: freq, VoltageV: op.VoltageV}, nil
+	}
+	return OperatingPoint{}, fmt.Errorf("exp: %s/%v: no real-time frequency found (demand %.2f MHz)", app, arch, demand/1e6)
+}
+
+func checkRealTime(p *platform.Platform) error {
+	if n := p.Overruns(); n > 0 {
+		return fmt.Errorf("%d ADC overruns", n)
+	}
+	if errs := p.ErrCodes(); len(errs) > 0 {
+		return fmt.Errorf("%d application errors (first: %#x)", len(errs), errs[0].Value)
+	}
+	if v := p.Violations(); len(v) > 0 {
+		return fmt.Errorf("sync violations: %s", v[0])
+	}
+	return nil
+}
+
+// Measurement is one measured configuration.
+type Measurement struct {
+	App  string
+	Arch power.Arch
+	Op   OperatingPoint
+
+	Cores         int
+	ActiveIMBanks int
+	ActiveDMBanks int
+
+	Counters power.Counters
+	Report   *power.Report
+
+	CodeOverheadPct float64
+}
+
+// Measure runs app/arch at the given operating point for opts.Duration and
+// computes the power report.
+func Measure(app string, arch power.Arch, op OperatingPoint, sig *ecg.Signal, opts Options, params *power.Params) (*Measurement, error) {
+	v, err := apps.Build(app, arch)
+	if err != nil {
+		return nil, err
+	}
+	p, err := v.NewPlatform(sig, op.FreqHz, op.VoltageV)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.RunSeconds(opts.Duration); err != nil {
+		return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
+	}
+	if err := checkRealTime(p); err != nil {
+		return nil, fmt.Errorf("exp: %s/%v at %.2f MHz: %w", app, arch, op.FreqHz/1e6, err)
+	}
+	rep, err := p.PowerReport(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{
+		App: app, Arch: arch, Op: op,
+		Cores:           v.Cores,
+		ActiveIMBanks:   p.ActiveIMBanks(),
+		ActiveDMBanks:   p.ActiveDMBanks(),
+		Counters:        *p.Counters(),
+		Report:          rep,
+		CodeOverheadPct: v.Res.Image.CodeOverheadPct(),
+	}, nil
+}

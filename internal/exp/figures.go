@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/power"
+)
+
+// Fig6Bar is one bar of Figure 6: the power decomposition of a benchmark on
+// one architecture variant.
+type Fig6Bar struct {
+	App  string
+	Arch power.Arch
+	M    *Measurement
+}
+
+// Figure6 reproduces the paper's Figure 6: per benchmark, the per-component
+// power of (1) the single-core baseline, (2) the multi-core system without
+// the proposed synchronization (active waiting) and (3) the multi-core
+// system with it. The no-sync variant runs at the proposed system's
+// operating point.
+func Figure6(opts Options, params *power.Params) ([]Fig6Bar, error) {
+	var bars []Fig6Bar
+	for _, app := range apps.Names {
+		sig, err := opts.signal(app)
+		if err != nil {
+			return nil, err
+		}
+		scOp, err := SolveOperatingPoint(app, power.SC, sig, opts)
+		if err != nil {
+			return nil, err
+		}
+		mcOp, err := SolveOperatingPoint(app, power.MC, sig, opts)
+		if err != nil {
+			return nil, err
+		}
+		// The no-sync variant needs its own, higher operating point:
+		// without lock-step recovery, diverged replicated cores
+		// serialize on their shared instruction bank and miss real time
+		// at the proposed system's clock.
+		nsOp, err := SolveOperatingPoint(app, power.MCNoSync, sig, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range []struct {
+			arch power.Arch
+			op   OperatingPoint
+		}{
+			{power.SC, scOp},
+			{power.MCNoSync, nsOp},
+			{power.MC, mcOp},
+		} {
+			m, err := Measure(app, cfg.arch, cfg.op, sig, opts, params)
+			if err != nil {
+				return nil, err
+			}
+			bars = append(bars, Fig6Bar{App: app, Arch: cfg.arch, M: m})
+		}
+	}
+	return bars, nil
+}
+
+// FormatFigure6 renders the decomposition as text, normalized to each
+// benchmark's single-core total (the paper's y-axis is % of SC).
+func FormatFigure6(bars []Fig6Bar) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-10s %8s |", "app", "arch", "total uW")
+	for comp := power.Component(0); comp < power.NumComponents; comp++ {
+		fmt.Fprintf(&sb, " %12s", comp)
+	}
+	fmt.Fprintf(&sb, " %8s\n", "% of SC")
+	scTotal := map[string]float64{}
+	for _, b := range bars {
+		if b.Arch == power.SC {
+			scTotal[b.App] = b.M.Report.TotalUW
+		}
+	}
+	for _, b := range bars {
+		fmt.Fprintf(&sb, "%-10s %-10s %8.1f |", b.App, b.Arch, b.M.Report.TotalUW)
+		for comp := power.Component(0); comp < power.NumComponents; comp++ {
+			fmt.Fprintf(&sb, " %12.1f", b.M.Report.ComponentUW(comp))
+		}
+		fmt.Fprintf(&sb, " %8.1f\n", 100*b.M.Report.TotalUW/scTotal[b.App])
+	}
+	return sb.String()
+}
+
+// Fig7Point is one x-position of Figure 7: RP-CLASS at a pathological-beat
+// share.
+type Fig7Point struct {
+	PathoPct     float64
+	SCUW, MCUW   float64
+	ReductionPct float64
+}
+
+// Fig7Shares are the paper's x-axis values.
+var Fig7Shares = []float64{0, 0.10, 0.20, 0.25, 0.33, 0.50, 1.00}
+
+// Figure7 reproduces the paper's Figure 7: RP-CLASS power on both systems,
+// and the reduction, as the share of pathological heartbeats grows
+// (uniformly distributed, §V-C).
+func Figure7(opts Options, params *power.Params) ([]Fig7Point, error) {
+	var pts []Fig7Point
+	for _, share := range Fig7Shares {
+		o := opts
+		o.PathoFrac = share
+		sig, err := o.signal(apps.RPClass)
+		if err != nil {
+			return nil, err
+		}
+		scOp, err := SolveOperatingPoint(apps.RPClass, power.SC, sig, o)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 share %.2f SC: %w", share, err)
+		}
+		mcOp, err := SolveOperatingPoint(apps.RPClass, power.MC, sig, o)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 share %.2f MC: %w", share, err)
+		}
+		sc, err := Measure(apps.RPClass, power.SC, scOp, sig, o, params)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := Measure(apps.RPClass, power.MC, mcOp, sig, o, params)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Fig7Point{
+			PathoPct:     share * 100,
+			SCUW:         sc.Report.TotalUW,
+			MCUW:         mc.Report.TotalUW,
+			ReductionPct: 100 * (1 - mc.Report.TotalUW/sc.Report.TotalUW),
+		})
+	}
+	return pts, nil
+}
+
+// FormatFigure7 renders the sweep as text.
+func FormatFigure7(pts []Fig7Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %10s %10s %12s\n", "patho share", "SC (uW)", "MC (uW)", "reduction")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "%13.0f%% %10.1f %10.1f %11.1f%%\n", p.PathoPct, p.SCUW, p.MCUW, p.ReductionPct)
+	}
+	return sb.String()
+}

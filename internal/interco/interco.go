@@ -1,0 +1,117 @@
+// Package interco models the interconnection networks between cores and
+// memories. The multi-core platform uses logarithmic-interconnect crossbars
+// (Kakoee et al., DATE'12) providing single-cycle combinational access, here
+// extended — as in the paper — with broadcasting: multiple read requests for
+// the same location in the same clock cycle are merged into a single memory
+// access. The single-core baseline replaces the crossbars with simple
+// decoders (no arbitration needed).
+package interco
+
+// Request is one core-to-memory access submitted for arbitration within a
+// single clock cycle.
+type Request struct {
+	Core   int  // requesting core id
+	Bank   int  // target bank
+	Offset int  // word offset within the bank
+	Write  bool // write access (writes never merge)
+
+	// Outcome, filled by Arbitrate.
+	Granted bool // access proceeds this cycle
+	Merged  bool // granted by riding a broadcast of another core's access
+}
+
+// Result summarizes one cycle of arbitration.
+type Result struct {
+	Accesses int // bank accesses actually performed (post-merge)
+	Merged   int // requests satisfied by a broadcast merge (no own access)
+	Stalled  int // requests that must retry next cycle
+}
+
+// Crossbar arbitrates same-cycle requests onto banks with rotating priority
+// and broadcast merging.
+type Crossbar struct {
+	nbanks int
+	rr     int // rotating priority seed, advanced every cycle
+
+	// per-bank scratch, reset each Arbitrate call
+	winner     []int // index into reqs of the winning request, -1 if none
+	winnerCore []int
+}
+
+// NewCrossbar returns a crossbar arbitrating over nbanks banks.
+func NewCrossbar(nbanks int) *Crossbar {
+	return &Crossbar{
+		nbanks:     nbanks,
+		winner:     make([]int, nbanks),
+		winnerCore: make([]int, nbanks),
+	}
+}
+
+// Advance rotates the arbitration priority; call once per platform cycle.
+func (x *Crossbar) Advance() { x.rr++ }
+
+// Arbitrate resolves the cycle's requests in place and returns the summary.
+//
+// Per bank: the pending request whose core has the highest rotating priority
+// wins and performs the bank access. If the winner is a read, every other
+// read of the same (bank, offset) is granted by broadcast merging. All other
+// requests on that bank stall. Writes are exclusive: they never merge, and
+// two same-cycle writes (even to the same address) serialize.
+func (x *Crossbar) Arbitrate(reqs []Request) Result {
+	var res Result
+	if len(reqs) == 0 {
+		return res
+	}
+	for b := 0; b < x.nbanks; b++ {
+		x.winner[b] = -1
+	}
+	// Pick winners with rotating priority: lower (core-rr) mod N wins.
+	for i := range reqs {
+		r := &reqs[i]
+		r.Granted, r.Merged = false, false
+		b := r.Bank
+		w := x.winner[b]
+		if w < 0 || x.prio(r.Core) < x.prio(x.winnerCore[b]) {
+			x.winner[b] = i
+			x.winnerCore[b] = r.Core
+		}
+	}
+	// Grant winners and merge compatible reads.
+	for i := range reqs {
+		r := &reqs[i]
+		w := x.winner[r.Bank]
+		if w == i {
+			r.Granted = true
+			res.Accesses++
+			continue
+		}
+		win := &reqs[w]
+		if !r.Write && !win.Write && r.Offset == win.Offset {
+			r.Granted = true
+			r.Merged = true
+			res.Merged++
+			continue
+		}
+		res.Stalled++
+	}
+	return res
+}
+
+func (x *Crossbar) prio(core int) int {
+	// Rotating: the core equal to rr mod 64 has priority 0 this cycle.
+	return (core - x.rr) & 63
+}
+
+// Decoder is the single-core baseline's memory interface: one requester, no
+// arbitration, every request granted.
+type Decoder struct{}
+
+// Arbitrate grants every request (the single core cannot conflict with
+// itself: instruction and data memories have independent decoders).
+func (Decoder) Arbitrate(reqs []Request) Result {
+	for i := range reqs {
+		reqs[i].Granted = true
+		reqs[i].Merged = false
+	}
+	return Result{Accesses: len(reqs)}
+}

@@ -1,0 +1,58 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Listing renders a code block as an annotated disassembly, one line per
+// 24-bit word: address, raw encoding and assembler syntax. base is the IM
+// word address of words[0]. Branch and jump targets are shown resolved to
+// absolute addresses, which is what makes listings of linked images
+// readable.
+func Listing(base int, words []Word) string {
+	var sb strings.Builder
+	for i, w := range words {
+		pc := base + i
+		ins := Decode(w)
+		text := ins.String()
+		if ins.Op.IsBranch() || ins.Op == OpJAL {
+			target := pc + 1 + int(ins.Imm)
+			text = fmt.Sprintf("%s  ; -> %#06x", text, target&(IMWords-1))
+		}
+		fmt.Fprintf(&sb, "%06x: %06x  %s\n", pc, w, text)
+	}
+	return sb.String()
+}
+
+// SyncStats summarizes a code block's synchronization-ISE footprint: the
+// static counts behind the paper's code-overhead metric.
+type SyncStats struct {
+	Total      int // total instructions
+	SyncPoints int // SINC + SDEC + SNOP
+	Sleeps     int // SLEEP
+}
+
+// AnalyzeSync scans encoded instructions for the sync ISE.
+func AnalyzeSync(words []Word) SyncStats {
+	var s SyncStats
+	s.Total = len(words)
+	for _, w := range words {
+		op := Decode(w).Op
+		switch {
+		case op.IsSync():
+			s.SyncPoints++
+		case op.IsSleep():
+			s.Sleeps++
+		}
+	}
+	return s
+}
+
+// OverheadPct returns the sync-extension share of the block.
+func (s SyncStats) OverheadPct() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.SyncPoints+s.Sleeps) / float64(s.Total)
+}

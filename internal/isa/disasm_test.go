@@ -1,0 +1,51 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListingResolvesTargets(t *testing.T) {
+	words := []Word{
+		MustEncode(Instr{Op: OpADDI, Rd: 1, Rs1: 0, Imm: 5}),
+		MustEncode(Instr{Op: OpBNE, Rs1: 1, Rs2: 0, Imm: -2}),
+		MustEncode(Instr{Op: OpJAL, Rd: 0, Imm: 10}),
+		MustEncode(Instr{Op: OpHALT}),
+	}
+	l := Listing(0x1000, words)
+	lines := strings.Split(strings.TrimSpace(l), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("listing has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "-> 0x001000") {
+		t.Errorf("branch target not resolved: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-> 0x00100d") {
+		t.Errorf("jump target not resolved: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[0], "001000: ") {
+		t.Errorf("address column wrong: %q", lines[0])
+	}
+}
+
+func TestAnalyzeSync(t *testing.T) {
+	words := []Word{
+		MustEncode(Instr{Op: OpSINC, Imm: 0}),
+		MustEncode(Instr{Op: OpSDEC, Imm: 0}),
+		MustEncode(Instr{Op: OpSNOP, Imm: 1}),
+		MustEncode(Instr{Op: OpSLEEP}),
+		MustEncode(Instr{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}),
+		MustEncode(Instr{Op: OpHALT}),
+	}
+	s := AnalyzeSync(words)
+	if s.Total != 6 || s.SyncPoints != 3 || s.Sleeps != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	want := 100.0 * 4 / 6
+	if got := s.OverheadPct(); got < want-0.01 || got > want+0.01 {
+		t.Errorf("overhead = %v, want %v", got, want)
+	}
+	if (SyncStats{}).OverheadPct() != 0 {
+		t.Error("empty stats overhead must be 0")
+	}
+}

@@ -1,0 +1,376 @@
+// Package isa defines the WB16 instruction-set architecture used by the
+// multi-core WBSN platform reproduced from Braojos et al., DATE 2014.
+//
+// WB16 is a 16-bit load/store RISC with 24-bit-wide instructions (the paper's
+// instruction memory is 32 KWords x 24 bit) and sixteen general-purpose
+// registers, r0 hardwired to zero. The instruction set is extended with the
+// paper's synchronization instructions SINC, SDEC, SNOP and SLEEP, which
+// operate on synchronization points managed by the synchronizer unit.
+package isa
+
+import "fmt"
+
+// Architectural geometry shared by the whole platform (paper §IV-B).
+const (
+	// NumRegs is the number of general-purpose registers. r0 reads as zero.
+	NumRegs = 16
+
+	// IMWords is the instruction-memory size in 24-bit words (96 KByte).
+	IMWords = 32768
+	// IMBanks is the number of independently powered instruction banks.
+	IMBanks = 8
+	// IMBankWords is the size of one instruction bank.
+	IMBankWords = IMWords / IMBanks
+
+	// DMWords is the data-memory size in 16-bit words (64 KByte).
+	DMWords = 32768
+	// DMBanks is the number of independently powered data banks.
+	DMBanks = 16
+	// DMBankWords is the size of one data bank.
+	DMBankWords = DMWords / DMBanks
+
+	// MaxCores is the number of cores the synchronization point format
+	// supports: the high 8 bits of a sync point hold one flag per core.
+	MaxCores = 8
+)
+
+// Memory-mapped I/O registers. They live at the top of the data address
+// space, outside the banked memory, and are word-addressed like all of DM.
+const (
+	MMIOBase = 0x7F00 // first MMIO word address
+
+	RegCoreID     = 0x7F00 // r/o: identifier of the issuing core
+	RegCycleLo    = 0x7F01 // r/o: low 16 bits of the platform cycle counter
+	RegCycleHi    = 0x7F02 // r/o: high 16 bits of the platform cycle counter
+	RegIRQSub     = 0x7F03 // r/w per core: interrupt-source subscription mask
+	RegIRQPend    = 0x7F04 // r/o per core: pending subscribed interrupts
+	RegADCData0   = 0x7F08 // r/o: ADC channel 0 sample; reading clears ready
+	RegADCData1   = 0x7F09 // r/o: ADC channel 1 sample; reading clears ready
+	RegADCData2   = 0x7F0A // r/o: ADC channel 2 sample; reading clears ready
+	RegADCStatus  = 0x7F0B // r/o: per-channel data-ready bits
+	RegADCOverrun = 0x7F0C // r/o: saturating count of ADC overruns
+	RegDebugOut   = 0x7F10 // w/o: host-visible debug trace value
+	RegDebugErr   = 0x7F11 // w/o: host-visible application error code
+	RegHostFlag   = 0x7F12 // r/w: scratch flag readable by the host harness
+)
+
+// Interrupt source bits (used with RegIRQSub / RegIRQPend).
+const (
+	IRQADC0 = 1 << 0 // channel 0 data ready
+	IRQADC1 = 1 << 1 // channel 1 data ready
+	IRQADC2 = 1 << 2 // channel 2 data ready
+	IRQADC  = IRQADC0 | IRQADC1 | IRQADC2
+)
+
+// Opcode enumerates WB16 operations. Values are the 6-bit primary opcode
+// stored in instruction bits [23:18].
+type Opcode uint8
+
+// Instruction opcodes. The ALU set includes MIN/MAX, common DSP extensions
+// on bio-signal platforms and heavily used by the morphological operators.
+const (
+	OpNOP Opcode = iota
+	// R-type ALU: rd <- rs1 op rs2
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpMUL
+	OpMULH
+	OpSLT
+	OpSLTU
+	OpMIN
+	OpMAX
+	OpMINU
+	OpMAXU
+	// I-type ALU: rd <- rs1 op signext(imm10)
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpSLTI
+	OpLUI // rd <- imm10 << 6
+	// Memory: word-addressed 16-bit data memory
+	OpLW // rd <- DM[rs1 + signext(imm10)]
+	OpSW // DM[rs1 + signext(imm10)] <- rs2
+	// Control flow
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpJAL  // rd <- PC+1; PC <- PC+1+off14
+	OpJALR // rd <- PC+1; PC <- (rs1 + signext(imm10)) & 0x7FFF
+	// Synchronization ISE (the paper's contribution, §III-B)
+	OpSINC  // set issuing core's flag on point imm18 and increment its counter
+	OpSDEC  // decrement point imm18's counter; on zero the synchronizer wakes flagged cores
+	OpSNOP  // set issuing core's flag on point imm18 without touching the counter
+	OpSLEEP // request clock gating until the next synchronization event
+	// Simulation control
+	OpHALT // stop the issuing core permanently
+
+	numOpcodes
+)
+
+// Format describes how an opcode's operands are packed into 24 bits.
+type Format uint8
+
+// Instruction formats (fields listed from bit 23 downwards after the opcode).
+const (
+	FmtR Format = iota // rd[17:14] rs1[13:10] rs2[9:6] 0[5:0]
+	FmtI               // rd[17:14] rs1[13:10] imm10[9:0]
+	FmtB               // rs1[17:14] rs2[13:10] imm10[9:0]   (branches, SW)
+	FmtJ               // rd[17:14] imm14[13:0]               (JAL)
+	FmtS               // imm18[17:0]                         (sync, point id)
+	FmtN               // no operands                         (NOP, SLEEP, HALT)
+)
+
+// Word is one 24-bit instruction stored in the low bits of a uint32.
+type Word = uint32
+
+const (
+	opShift  = 18
+	rdShift  = 14
+	rs1Shift = 10
+	rs2Shift = 6
+
+	imm10Mask = 0x3FF
+	imm14Mask = 0x3FFF
+	imm18Mask = 0x3FFFF
+
+	// Imm10Min and Imm10Max bound the signed 10-bit immediate.
+	Imm10Min = -512
+	Imm10Max = 511
+	// Imm14Min and Imm14Max bound the signed 14-bit jump offset.
+	Imm14Min = -8192
+	Imm14Max = 8191
+	// Imm18Max bounds the unsigned 18-bit sync-point literal.
+	Imm18Max = 1<<18 - 1
+)
+
+var opInfo = [numOpcodes]struct {
+	name string
+	fmt  Format
+}{
+	OpNOP:   {"nop", FmtN},
+	OpADD:   {"add", FmtR},
+	OpSUB:   {"sub", FmtR},
+	OpAND:   {"and", FmtR},
+	OpOR:    {"or", FmtR},
+	OpXOR:   {"xor", FmtR},
+	OpSLL:   {"sll", FmtR},
+	OpSRL:   {"srl", FmtR},
+	OpSRA:   {"sra", FmtR},
+	OpMUL:   {"mul", FmtR},
+	OpMULH:  {"mulh", FmtR},
+	OpSLT:   {"slt", FmtR},
+	OpSLTU:  {"sltu", FmtR},
+	OpMIN:   {"min", FmtR},
+	OpMAX:   {"max", FmtR},
+	OpMINU:  {"minu", FmtR},
+	OpMAXU:  {"maxu", FmtR},
+	OpADDI:  {"addi", FmtI},
+	OpANDI:  {"andi", FmtI},
+	OpORI:   {"ori", FmtI},
+	OpXORI:  {"xori", FmtI},
+	OpSLLI:  {"slli", FmtI},
+	OpSRLI:  {"srli", FmtI},
+	OpSRAI:  {"srai", FmtI},
+	OpSLTI:  {"slti", FmtI},
+	OpLUI:   {"lui", FmtI},
+	OpLW:    {"lw", FmtI},
+	OpSW:    {"sw", FmtB},
+	OpBEQ:   {"beq", FmtB},
+	OpBNE:   {"bne", FmtB},
+	OpBLT:   {"blt", FmtB},
+	OpBGE:   {"bge", FmtB},
+	OpBLTU:  {"bltu", FmtB},
+	OpBGEU:  {"bgeu", FmtB},
+	OpJAL:   {"jal", FmtJ},
+	OpJALR:  {"jalr", FmtI},
+	OpSINC:  {"sinc", FmtS},
+	OpSDEC:  {"sdec", FmtS},
+	OpSNOP:  {"snop", FmtS},
+	OpSLEEP: {"sleep", FmtN},
+	OpHALT:  {"halt", FmtN},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op?%d", uint8(op))
+	}
+	return opInfo[op].name
+}
+
+// Fmt returns the encoding format of op.
+func (op Opcode) Fmt() Format {
+	if !op.Valid() {
+		return FmtN
+	}
+	return opInfo[op].fmt
+}
+
+// IsSync reports whether op is one of the synchronization-point instructions
+// (SINC, SDEC, SNOP). SLEEP is reported separately by IsSleep.
+func (op Opcode) IsSync() bool { return op == OpSINC || op == OpSDEC || op == OpSNOP }
+
+// IsSleep reports whether op is the SLEEP clock-gating request.
+func (op Opcode) IsSleep() bool { return op == OpSLEEP }
+
+// IsSyncExtension reports whether op belongs to the paper's instruction-set
+// extension (SINC, SDEC, SNOP or SLEEP). Used for code-overhead accounting.
+func (op Opcode) IsSyncExtension() bool { return op.IsSync() || op.IsSleep() }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool { return op >= OpBEQ && op <= OpBGEU }
+
+// IsMem reports whether op accesses data memory.
+func (op Opcode) IsMem() bool { return op == OpLW || op == OpSW }
+
+// OpcodeByName maps assembler mnemonics to opcodes.
+var OpcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[opInfo[op].name] = op
+	}
+	return m
+}()
+
+// Instr is a decoded WB16 instruction. Imm holds the sign-extended immediate
+// for I/B/J formats and the zero-extended 18-bit literal for the sync format.
+type Instr struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Encode packs ins into a 24-bit instruction word. It returns an error when a
+// field is out of range for the instruction's format.
+func Encode(ins Instr) (Word, error) {
+	if !ins.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", ins.Op)
+	}
+	if ins.Rd >= NumRegs || ins.Rs1 >= NumRegs || ins.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: %s: register out of range", ins.Op)
+	}
+	w := uint32(ins.Op) << opShift
+	switch ins.Op.Fmt() {
+	case FmtR:
+		w |= uint32(ins.Rd)<<rdShift | uint32(ins.Rs1)<<rs1Shift | uint32(ins.Rs2)<<rs2Shift
+	case FmtI:
+		if ins.Imm < Imm10Min || ins.Imm > Imm10Max {
+			return 0, fmt.Errorf("isa: %s: immediate %d out of signed 10-bit range", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Rd)<<rdShift | uint32(ins.Rs1)<<rs1Shift | uint32(ins.Imm)&imm10Mask
+	case FmtB:
+		if ins.Imm < Imm10Min || ins.Imm > Imm10Max {
+			return 0, fmt.Errorf("isa: %s: offset %d out of signed 10-bit range", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Rs1)<<rdShift | uint32(ins.Rs2)<<rs1Shift | uint32(ins.Imm)&imm10Mask
+	case FmtJ:
+		if ins.Imm < Imm14Min || ins.Imm > Imm14Max {
+			return 0, fmt.Errorf("isa: %s: offset %d out of signed 14-bit range", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Rd)<<rdShift | uint32(ins.Imm)&imm14Mask
+	case FmtS:
+		if ins.Imm < 0 || ins.Imm > Imm18Max {
+			return 0, fmt.Errorf("isa: %s: sync point %d out of 18-bit range", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Imm) & imm18Mask
+	case FmtN:
+		// no operands
+	}
+	return w, nil
+}
+
+// MustEncode is Encode but panics on error; for tests and generated tables.
+func MustEncode(ins Instr) Word {
+	w, err := Encode(ins)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 24-bit instruction word. Unknown opcodes decode as an
+// Instr with an invalid Op; the core treats executing one as a fault.
+func Decode(w Word) Instr {
+	op := Opcode(w >> opShift & 0x3F)
+	ins := Instr{Op: op}
+	if !op.Valid() {
+		return ins
+	}
+	switch op.Fmt() {
+	case FmtR:
+		ins.Rd = uint8(w >> rdShift & 0xF)
+		ins.Rs1 = uint8(w >> rs1Shift & 0xF)
+		ins.Rs2 = uint8(w >> rs2Shift & 0xF)
+	case FmtI:
+		ins.Rd = uint8(w >> rdShift & 0xF)
+		ins.Rs1 = uint8(w >> rs1Shift & 0xF)
+		ins.Imm = signExtend(w&imm10Mask, 10)
+	case FmtB:
+		ins.Rs1 = uint8(w >> rdShift & 0xF)
+		ins.Rs2 = uint8(w >> rs1Shift & 0xF)
+		ins.Imm = signExtend(w&imm10Mask, 10)
+	case FmtJ:
+		ins.Rd = uint8(w >> rdShift & 0xF)
+		ins.Imm = signExtend(w&imm14Mask, 14)
+	case FmtS:
+		ins.Imm = int32(w & imm18Mask)
+	case FmtN:
+	}
+	return ins
+}
+
+// String renders ins in assembler syntax.
+func (ins Instr) String() string {
+	switch ins.Op.Fmt() {
+	case FmtR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", ins.Op, ins.Rd, ins.Rs1, ins.Rs2)
+	case FmtI:
+		if ins.Op == OpLW {
+			return fmt.Sprintf("lw r%d, %d(r%d)", ins.Rd, ins.Imm, ins.Rs1)
+		}
+		if ins.Op == OpLUI {
+			return fmt.Sprintf("lui r%d, %d", ins.Rd, ins.Imm)
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", ins.Op, ins.Rd, ins.Rs1, ins.Imm)
+	case FmtB:
+		if ins.Op == OpSW {
+			return fmt.Sprintf("sw r%d, %d(r%d)", ins.Rs2, ins.Imm, ins.Rs1)
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", ins.Op, ins.Rs1, ins.Rs2, ins.Imm)
+	case FmtJ:
+		return fmt.Sprintf("jal r%d, %d", ins.Rd, ins.Imm)
+	case FmtS:
+		return fmt.Sprintf("%s #%d", ins.Op, ins.Imm)
+	default:
+		return ins.Op.String()
+	}
+}
+
+// IMBankOf returns the instruction-memory bank holding word address pc.
+func IMBankOf(pc int) int { return pc / IMBankWords }
+
+// IsMMIO reports whether a data word address falls in the MMIO window.
+func IsMMIO(addr uint16) bool { return addr >= MMIOBase }

@@ -1,0 +1,205 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripAllFormats(t *testing.T) {
+	cases := []Instr{
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpMIN, Rd: 7, Rs1: 7, Rs2: 7},
+		{Op: OpADDI, Rd: 4, Rs1: 5, Imm: -512},
+		{Op: OpADDI, Rd: 4, Rs1: 5, Imm: 511},
+		{Op: OpLW, Rd: 9, Rs1: 2, Imm: -1},
+		{Op: OpSW, Rs1: 2, Rs2: 9, Imm: 33},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -256},
+		{Op: OpJAL, Rd: 15, Imm: 8191},
+		{Op: OpJAL, Rd: 0, Imm: -8192},
+		{Op: OpJALR, Rd: 0, Rs1: 15, Imm: 0},
+		{Op: OpSINC, Imm: 0},
+		{Op: OpSDEC, Imm: 7},
+		{Op: OpSNOP, Imm: Imm18Max},
+		{Op: OpSLEEP},
+		{Op: OpHALT},
+		{Op: OpNOP},
+		{Op: OpLUI, Rd: 3, Imm: 500},
+	}
+	for _, ins := range cases {
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", ins, err)
+		}
+		if w>>24 != 0 {
+			t.Errorf("Encode(%v) = %#x: exceeds 24 bits", ins, w)
+		}
+		got := Decode(w)
+		if got != ins {
+			t.Errorf("round trip %v -> %#x -> %v", ins, w, got)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Instr{
+		{Op: OpADDI, Rd: 1, Rs1: 1, Imm: 512},
+		{Op: OpADDI, Rd: 1, Rs1: 1, Imm: -513},
+		{Op: OpBEQ, Rs1: 1, Rs2: 1, Imm: 1000},
+		{Op: OpJAL, Rd: 1, Imm: 8192},
+		{Op: OpSINC, Imm: -1},
+		{Op: OpSINC, Imm: Imm18Max + 1},
+		{Op: Opcode(63)},
+		{Op: OpADD, Rd: 16},
+	}
+	for _, ins := range bad {
+		if _, err := Encode(ins); err == nil {
+			t.Errorf("Encode(%v): want error, got none", ins)
+		}
+	}
+}
+
+// canonical clamps an arbitrary Instr into one that Encode accepts and that
+// Decode must reproduce exactly.
+func canonical(ins Instr) Instr {
+	ins.Op %= numOpcodes
+	ins.Rd &= 0xF
+	ins.Rs1 &= 0xF
+	ins.Rs2 &= 0xF
+	switch ins.Op.Fmt() {
+	case FmtR:
+		ins.Imm = 0
+	case FmtI:
+		ins.Rs2 = 0
+		ins.Imm = int32(int16(ins.Imm) % 512)
+	case FmtB:
+		// B-format reuses the rd field slot for rs1: normalize names.
+		ins.Rd = 0
+		ins.Imm = int32(int16(ins.Imm) % 512)
+	case FmtJ:
+		ins.Rs1, ins.Rs2 = 0, 0
+		ins.Imm = int32(int16(ins.Imm) % 8192)
+	case FmtS:
+		ins.Rd, ins.Rs1, ins.Rs2 = 0, 0, 0
+		if ins.Imm < 0 {
+			ins.Imm = -ins.Imm
+		}
+		ins.Imm %= Imm18Max + 1
+	case FmtN:
+		ins.Rd, ins.Rs1, ins.Rs2, ins.Imm = 0, 0, 0, 0
+	}
+	return ins
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int16) bool {
+		ins := canonical(Instr{Op: Opcode(op), Rd: rd, Rs1: rs1, Rs2: rs2, Imm: int32(imm)})
+		w, err := Encode(ins)
+		if err != nil {
+			t.Logf("Encode(%v): %v", ins, err)
+			return false
+		}
+		return Decode(w) == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeUnknownOpcodeIsInvalid(t *testing.T) {
+	w := uint32(63) << opShift
+	ins := Decode(w)
+	if ins.Op.Valid() {
+		t.Errorf("Decode(%#x).Op = %v, want invalid", w, ins.Op)
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	for _, op := range []Opcode{OpSINC, OpSDEC, OpSNOP} {
+		if !op.IsSync() || !op.IsSyncExtension() {
+			t.Errorf("%v: IsSync/IsSyncExtension should be true", op)
+		}
+	}
+	if !OpSLEEP.IsSleep() || !OpSLEEP.IsSyncExtension() || OpSLEEP.IsSync() {
+		t.Error("SLEEP predicate mismatch")
+	}
+	for _, op := range []Opcode{OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU} {
+		if !op.IsBranch() {
+			t.Errorf("%v: IsBranch should be true", op)
+		}
+	}
+	if OpJAL.IsBranch() || OpADD.IsBranch() {
+		t.Error("JAL/ADD must not be branches")
+	}
+	if !OpLW.IsMem() || !OpSW.IsMem() || OpADD.IsMem() {
+		t.Error("IsMem mismatch")
+	}
+	if OpADD.IsSyncExtension() {
+		t.Error("ADD must not be in the sync extension")
+	}
+}
+
+func TestMnemonicsUniqueAndComplete(t *testing.T) {
+	if len(OpcodeByName) != int(numOpcodes) {
+		t.Fatalf("OpcodeByName has %d entries, want %d (duplicate mnemonic?)", len(OpcodeByName), numOpcodes)
+	}
+	for name, op := range OpcodeByName {
+		if op.String() != name {
+			t.Errorf("mnemonic mismatch: %q -> %v -> %q", name, op, op.String())
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		ins  Instr
+		want string
+	}{
+		{Instr{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpLW, Rd: 4, Rs1: 2, Imm: -8}, "lw r4, -8(r2)"},
+		{Instr{Op: OpSW, Rs1: 2, Rs2: 4, Imm: 5}, "sw r4, 5(r2)"},
+		{Instr{Op: OpBNE, Rs1: 1, Rs2: 0, Imm: -3}, "bne r1, r0, -3"},
+		{Instr{Op: OpSINC, Imm: 4}, "sinc #4"},
+		{Instr{Op: OpSLEEP}, "sleep"},
+		{Instr{Op: OpJAL, Rd: 15, Imm: 10}, "jal r15, 10"},
+		{Instr{Op: OpLUI, Rd: 2, Imm: 100}, "lui r2, 100"},
+	}
+	for _, c := range cases {
+		if got := c.ins.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.ins, got, c.want)
+		}
+	}
+}
+
+func TestGeometryConstantsMatchPaper(t *testing.T) {
+	// Paper §IV-B: 96 KB IM = 32 KWords x 24 bit in 8 banks;
+	// 64 KB DM = 32 KWords x 16 bit in 16 banks.
+	if IMWords*3 != 96*1024 {
+		t.Errorf("IM size = %d bytes, want 96KB", IMWords*3)
+	}
+	if DMWords*2 != 64*1024 {
+		t.Errorf("DM size = %d bytes, want 64KB", DMWords*2)
+	}
+	if IMBankWords*IMBanks != IMWords || DMBankWords*DMBanks != DMWords {
+		t.Error("bank geometry does not tile the memories")
+	}
+}
+
+func TestIMBankOf(t *testing.T) {
+	if IMBankOf(0) != 0 || IMBankOf(IMBankWords-1) != 0 || IMBankOf(IMBankWords) != 1 || IMBankOf(IMWords-1) != IMBanks-1 {
+		t.Error("IMBankOf boundaries wrong")
+	}
+}
+
+func TestIsMMIO(t *testing.T) {
+	if IsMMIO(MMIOBase-1) || !IsMMIO(MMIOBase) || !IsMMIO(RegDebugOut) {
+		t.Error("IsMMIO boundaries wrong")
+	}
+}
+
+func TestStringOfInvalidOpcode(t *testing.T) {
+	if s := Opcode(63).String(); !strings.HasPrefix(s, "op?") {
+		t.Errorf("invalid opcode String = %q", s)
+	}
+}

@@ -1,0 +1,233 @@
+// Package link implements the builder/linker of the programming tool-chain
+// (paper §IV-C): it places code segments into instruction-memory banks
+// following the mapping directives (phase code is placed so that cores
+// executing the same phase share a bank and benefit from broadcasting,
+// §III-B step 3), lays out shared and private data, reserves the
+// synchronization points, resolves symbols and encodes the final image.
+package link
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/platform"
+)
+
+// ReservedSyncWords is the size of the reserved synchronization-point region
+// at the bottom of shared data memory. Data placement starts above it so
+// layouts stay comparable across configurations.
+const ReservedSyncWords = 16
+
+// DefaultSharedLimit is the default shared/private threshold of the
+// multi-core data memory: 8 KWords shared, the rest split per core by the
+// ATU.
+const DefaultSharedLimit = 0x2000
+
+// Spec describes one program to build: its translation units plus the
+// building directives that guide automatic linking.
+type Spec struct {
+	// Sources maps unit names to assembler source text.
+	Sources map[string]string
+
+	// CodeBanks maps every code segment name to its instruction-memory
+	// bank. Segments directed to the same bank are placed consecutively
+	// in directive order (sorted by segment name for determinism).
+	CodeBanks map[string]int
+
+	// PrivCore marks data segments as core-private: segment name -> core.
+	// Unlisted data segments are shared.
+	PrivCore map[string]int
+
+	// EntryLabels lists the entry label of each core, in core order.
+	EntryLabels []string
+
+	// NumSyncPoints configures the synchronizer (must fit the reserved
+	// region).
+	NumSyncPoints int
+
+	// SharedLimit overrides the shared/private threshold (0 = default).
+	SharedLimit uint16
+
+	// SingleCore builds for the baseline: exactly one entry, no private
+	// segments, linear data placement.
+	SingleCore bool
+}
+
+// Result is a fully linked program.
+type Result struct {
+	Image   *platform.Image
+	Symbols asm.MapSymbols
+	// CodePlacement records the final base of every code segment.
+	CodePlacement map[string]int
+	// DataPlacement records the final base of every data segment.
+	DataPlacement map[string]int
+}
+
+// Build links the program.
+func Build(spec Spec) (*Result, error) {
+	if len(spec.EntryLabels) == 0 {
+		return nil, fmt.Errorf("link: no entry labels")
+	}
+	if spec.SingleCore && len(spec.EntryLabels) != 1 {
+		return nil, fmt.Errorf("link: single-core build with %d entries", len(spec.EntryLabels))
+	}
+	if spec.SingleCore && len(spec.PrivCore) != 0 {
+		return nil, fmt.Errorf("link: private segments are a multi-core feature")
+	}
+	if spec.NumSyncPoints > ReservedSyncWords {
+		return nil, fmt.Errorf("link: %d sync points exceed the %d reserved words", spec.NumSyncPoints, ReservedSyncWords)
+	}
+	sharedLimit := spec.SharedLimit
+	if sharedLimit == 0 {
+		sharedLimit = DefaultSharedLimit
+	}
+
+	// Parse all units.
+	var units []*asm.Unit
+	for _, name := range sortedKeys(spec.Sources) {
+		u, err := asm.Parse(name, spec.Sources[name])
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+
+	// Collect segments, checking name uniqueness program-wide.
+	type owned struct {
+		seg  *asm.Segment
+		unit *asm.Unit
+	}
+	segByName := map[string]owned{}
+	var codeSegs, dataSegs []*asm.Segment
+	for _, u := range units {
+		for _, seg := range u.Segments {
+			if prev, dup := segByName[seg.Name]; dup {
+				return nil, fmt.Errorf("link: segment %q defined in both %s and %s", seg.Name, prev.unit.Name, u.Name)
+			}
+			segByName[seg.Name] = owned{seg, u}
+			if seg.Kind == asm.SegCode {
+				codeSegs = append(codeSegs, seg)
+			} else {
+				dataSegs = append(dataSegs, seg)
+			}
+		}
+	}
+	sort.Slice(codeSegs, func(i, j int) bool { return codeSegs[i].Name < codeSegs[j].Name })
+	sort.Slice(dataSegs, func(i, j int) bool { return dataSegs[i].Name < dataSegs[j].Name })
+
+	res := &Result{
+		Symbols:       asm.MapSymbols{},
+		CodePlacement: map[string]int{},
+		DataPlacement: map[string]int{},
+	}
+
+	// Place code into banks.
+	bankCursor := map[int]int{}
+	for _, seg := range codeSegs {
+		bank, ok := spec.CodeBanks[seg.Name]
+		if !ok {
+			return nil, fmt.Errorf("link: code segment %q has no bank directive", seg.Name)
+		}
+		if bank < 0 || bank >= isa.IMBanks {
+			return nil, fmt.Errorf("link: code segment %q directed to invalid bank %d", seg.Name, bank)
+		}
+		off := bankCursor[bank]
+		if off+seg.Size() > isa.IMBankWords {
+			return nil, fmt.Errorf("link: bank %d overflows at segment %q (%d+%d words)", bank, seg.Name, off, seg.Size())
+		}
+		seg.Base = bank*isa.IMBankWords + off
+		bankCursor[bank] = off + seg.Size()
+		res.CodePlacement[seg.Name] = seg.Base
+	}
+
+	// Place data: shared segments above the reserved sync region; private
+	// segments per core starting at the shared limit.
+	sharedCursor := ReservedSyncWords
+	privCursor := map[int]int{}
+	privWords := (isa.DMWords - int(sharedLimit)) / isa.MaxCores
+	if privWords%2 == 0 {
+		privWords-- // must match the platform's odd private stride
+	}
+	for _, seg := range dataSegs {
+		if coreID, priv := spec.PrivCore[seg.Name]; priv {
+			if coreID < 0 || coreID >= len(spec.EntryLabels) {
+				return nil, fmt.Errorf("link: private segment %q for core %d outside the %d used cores", seg.Name, coreID, len(spec.EntryLabels))
+			}
+			off := privCursor[coreID]
+			if off+seg.Size() > privWords {
+				return nil, fmt.Errorf("link: core %d private memory overflows at %q (%d+%d of %d words)", coreID, seg.Name, off, seg.Size(), privWords)
+			}
+			seg.Base = int(sharedLimit) + off
+			privCursor[coreID] = off + seg.Size()
+		} else {
+			limit := int(sharedLimit)
+			if spec.SingleCore {
+				limit = isa.MMIOBase
+			}
+			if sharedCursor+seg.Size() > limit {
+				return nil, fmt.Errorf("link: shared data overflows at %q (%d+%d of %d words)", seg.Name, sharedCursor, seg.Size(), limit)
+			}
+			seg.Base = sharedCursor
+			sharedCursor += seg.Size()
+		}
+		res.DataPlacement[seg.Name] = seg.Base
+	}
+
+	// Symbols: labels first, then .equ constants (which may use labels).
+	for _, u := range units {
+		if err := u.Symbols(res.Symbols); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range units {
+		if err := u.ResolveEqus(res.Symbols); err != nil {
+			return nil, err
+		}
+	}
+
+	// Encode.
+	img := &platform.Image{
+		SharedLimit:   sharedLimit,
+		NumSyncPoints: spec.NumSyncPoints,
+	}
+	for _, u := range units {
+		code, data, err := u.Encode(res.Symbols)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range code {
+			img.Code = append(img.Code, platform.CodeSeg{Base: c.Seg.Base, Words: c.Words})
+			img.StaticInstrs += len(c.Words)
+			img.StaticSyncInstrs += c.SyncInstrs
+		}
+		for _, d := range data {
+			if coreID, priv := spec.PrivCore[d.Seg.Name]; priv {
+				img.Priv = append(img.Priv, platform.PrivSeg{Core: coreID, Base: uint16(d.Seg.Base), Words: d.Words})
+			} else {
+				img.Shared = append(img.Shared, platform.DataSeg{Base: uint16(d.Seg.Base), Words: d.Words})
+			}
+		}
+	}
+
+	// Resolve entries.
+	for _, label := range spec.EntryLabels {
+		pc, ok := res.Symbols[label]
+		if !ok {
+			return nil, fmt.Errorf("link: entry label %q undefined", label)
+		}
+		img.Entries = append(img.Entries, pc)
+	}
+	res.Image = img
+	return res, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

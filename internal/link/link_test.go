@@ -1,0 +1,242 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/platform"
+	"repro/internal/power"
+)
+
+func TestPlacementAcrossBanks(t *testing.T) {
+	spec := Spec{
+		Sources: map[string]string{
+			"a": ".code alpha\nstart_a:\n nop\n halt\n.data tbl\n .word 1, 2, 3\n",
+			"b": ".code beta\nstart_b:\n nop\n nop\n halt\n",
+		},
+		CodeBanks:   map[string]int{"alpha": 0, "beta": 2},
+		EntryLabels: []string{"start_a", "start_b"},
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CodePlacement["alpha"] != 0 {
+		t.Errorf("alpha at %d", res.CodePlacement["alpha"])
+	}
+	if res.CodePlacement["beta"] != 2*isa.IMBankWords {
+		t.Errorf("beta at %d, want bank 2 base", res.CodePlacement["beta"])
+	}
+	if res.DataPlacement["tbl"] != ReservedSyncWords {
+		t.Errorf("tbl at %d, want %d (above sync region)", res.DataPlacement["tbl"], ReservedSyncWords)
+	}
+	if res.Image.Entries[0] != 0 || res.Image.Entries[1] != 2*isa.IMBankWords {
+		t.Errorf("entries = %v", res.Image.Entries)
+	}
+}
+
+func TestSameBankStacksSegments(t *testing.T) {
+	spec := Spec{
+		Sources: map[string]string{
+			"u": ".code p1\ne1:\n nop\n halt\n.code p2\ne2:\n halt\n",
+		},
+		CodeBanks:   map[string]int{"p1": 3, "p2": 3},
+		EntryLabels: []string{"e1", "e2"},
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 3 * isa.IMBankWords
+	if res.CodePlacement["p1"] != base || res.CodePlacement["p2"] != base+2 {
+		t.Errorf("placement = %v", res.CodePlacement)
+	}
+}
+
+func TestPrivatePlacementPerCore(t *testing.T) {
+	spec := Spec{
+		Sources: map[string]string{
+			"u": `
+.code main
+e0:
+ halt
+.data buf0
+ .space 10
+.data buf1
+ .space 20
+.data shared_tab
+ .word 7
+`,
+		},
+		CodeBanks:   map[string]int{"main": 0},
+		PrivCore:    map[string]int{"buf0": 0, "buf1": 1},
+		EntryLabels: []string{"e0", "e0"},
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataPlacement["buf0"] != DefaultSharedLimit {
+		t.Errorf("buf0 at %#x", res.DataPlacement["buf0"])
+	}
+	if res.DataPlacement["buf1"] != DefaultSharedLimit {
+		t.Errorf("buf1 at %#x (each core's private space starts at the limit)", res.DataPlacement["buf1"])
+	}
+	if res.DataPlacement["shared_tab"] != ReservedSyncWords {
+		t.Errorf("shared_tab at %d", res.DataPlacement["shared_tab"])
+	}
+	if len(res.Image.Priv) != 2 || len(res.Image.Shared) != 1 {
+		t.Errorf("image has %d priv, %d shared segments", len(res.Image.Priv), len(res.Image.Shared))
+	}
+}
+
+func TestLinkedProgramRuns(t *testing.T) {
+	// Cross-unit symbol use: code in one unit reads data declared in
+	// another and stores a result read back by the test.
+	spec := Spec{
+		Sources: map[string]string{
+			"code": `
+.code main
+entry:
+    la  r1, input
+    lw  r2, 0(r1)
+    lw  r3, 1(r1)
+    add r2, r2, r3
+    la  r4, output
+    sw  r2, 0(r4)
+    halt
+`,
+			"data": ".data din\ninput:\n .word 30, 12\n.data dout\noutput:\n .word 0\n",
+		},
+		CodeBanks:   map[string]int{"main": 0},
+		EntryLabels: []string{"entry"},
+		SingleCore:  true,
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := platform.New(platform.Config{Arch: power.SC, ClockHz: 1e6, VoltageV: 0.6}, res.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	out := uint16(res.Symbols["output"])
+	if v, _ := p.PeekData(0, out); v != 42 {
+		t.Errorf("output = %d, want 42", v)
+	}
+}
+
+func TestStaticCounts(t *testing.T) {
+	spec := Spec{
+		Sources: map[string]string{
+			"u": ".code m\ne:\n sinc #0\n sdec #0\n sleep\n addi r1, r1, 1\n halt\n",
+		},
+		CodeBanks:     map[string]int{"m": 0},
+		EntryLabels:   []string{"e"},
+		NumSyncPoints: 1,
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Image.StaticInstrs != 5 || res.Image.StaticSyncInstrs != 3 {
+		t.Errorf("static = %d/%d, want 5/3", res.Image.StaticSyncInstrs, res.Image.StaticInstrs)
+	}
+	if pct := res.Image.CodeOverheadPct(); pct != 60 {
+		t.Errorf("overhead = %v%%", pct)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Sources:     map[string]string{"u": ".code m\ne:\n halt\n"},
+			CodeBanks:   map[string]int{"m": 0},
+			EntryLabels: []string{"e"},
+		}
+	}
+	cases := []struct {
+		mutate  func(*Spec)
+		wantSub string
+	}{
+		{func(s *Spec) { s.EntryLabels = nil }, "no entry labels"},
+		{func(s *Spec) { s.EntryLabels = []string{"nope"} }, "undefined"},
+		{func(s *Spec) { s.CodeBanks = map[string]int{} }, "no bank directive"},
+		{func(s *Spec) { s.CodeBanks = map[string]int{"m": 9} }, "invalid bank"},
+		{func(s *Spec) { s.NumSyncPoints = 17 }, "reserved words"},
+		{func(s *Spec) { s.SingleCore = true; s.EntryLabels = []string{"e", "e"} }, "single-core"},
+		{func(s *Spec) { s.SingleCore = true; s.PrivCore = map[string]int{"x": 0} }, "multi-core feature"},
+		{func(s *Spec) {
+			s.Sources["v"] = ".code m\n halt\n"
+		}, "defined in both"},
+		{func(s *Spec) {
+			s.Sources["v"] = ".data big\n .space 40000\n"
+		}, "overflows"},
+		{func(s *Spec) {
+			s.Sources["v"] = ".data pb\n .space 5000\n"
+			s.PrivCore = map[string]int{"pb": 0}
+		}, "private memory overflows"},
+		{func(s *Spec) {
+			s.Sources["v"] = ".data pb\n .space 1\n"
+			s.PrivCore = map[string]int{"pb": 3}
+		}, "outside the"},
+	}
+	for _, c := range cases {
+		spec := base()
+		c.mutate(&spec)
+		_, err := Build(spec)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("mutation %q: got %v", c.wantSub, err)
+		}
+	}
+}
+
+func TestBankOverflowDetected(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(".code big\ne:\n")
+	for i := 0; i < isa.IMBankWords+1; i++ {
+		sb.WriteString(" nop\n")
+	}
+	spec := Spec{
+		Sources:     map[string]string{"u": sb.String()},
+		CodeBanks:   map[string]int{"big": 0},
+		EntryLabels: []string{"e"},
+	}
+	if _, err := Build(spec); err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Errorf("want bank overflow, got %v", err)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	spec := Spec{
+		Sources: map[string]string{
+			"a": ".code s1\ne1:\n halt\n",
+			"b": ".code s2\ne2:\n halt\n",
+			"c": ".data d1\n .word 1\n.data d2\n .word 2\n",
+		},
+		CodeBanks:   map[string]int{"s1": 0, "s2": 0},
+		EntryLabels: []string{"e1", "e2"},
+	}
+	r1, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, base := range r1.CodePlacement {
+		if r2.CodePlacement[name] != base {
+			t.Errorf("placement of %q not deterministic", name)
+		}
+	}
+	for name, base := range r1.DataPlacement {
+		if r2.DataPlacement[name] != base {
+			t.Errorf("data placement of %q not deterministic", name)
+		}
+	}
+}

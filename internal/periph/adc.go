@@ -1,0 +1,118 @@
+// Package periph models the platform peripherals, chiefly the multi-channel
+// analog-to-digital converter that samples the bio-signals at a constant
+// frequency and raises data-ready interrupts forwarded by the synchronizer
+// (paper §III-B, §IV-B: "a three-channels ADC unit is interfaced to the
+// system using memory mapped registers ... and data-ready interrupt lines
+// connected to the synchronizer").
+package periph
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/power"
+)
+
+// NumADCChannels is the channel count of the platform's ADC front-end.
+const NumADCChannels = 3
+
+// ADC is a fixed-rate multi-channel converter. Sample traces are preloaded
+// (the simulated analog world); each sampling instant publishes one sample
+// per enabled channel into the data registers, sets the ready bits and
+// raises the per-channel interrupt lines.
+type ADC struct {
+	traces   [NumADCChannels][]int16
+	enabled  [NumADCChannels]bool
+	rateHz   float64
+	periodCy float64 // platform cycles between samples, possibly fractional
+	nextAt   float64 // cycle of the next sampling instant
+	idx      int     // next sample index (channels sample simultaneously)
+
+	data     [NumADCChannels]uint16
+	ready    uint16
+	overruns uint64
+
+	raise func(source uint16)
+	ctr   *power.Counters
+}
+
+// NewADC creates an ADC sampling at rateHz with the platform clocked at
+// clockHz. raise is invoked with the IRQ source mask at each sampling
+// instant (wired to the synchronizer). Channels with a nil trace are
+// disabled.
+func NewADC(traces [NumADCChannels][]int16, rateHz, clockHz float64, raise func(uint16), ctr *power.Counters) (*ADC, error) {
+	if rateHz <= 0 || clockHz <= 0 {
+		return nil, fmt.Errorf("periph: non-positive rate (%v Hz) or clock (%v Hz)", rateHz, clockHz)
+	}
+	period := clockHz / rateHz
+	if period < 1 {
+		return nil, fmt.Errorf("periph: sample rate %v Hz exceeds the platform clock %v Hz", rateHz, clockHz)
+	}
+	a := &ADC{
+		traces:   traces,
+		rateHz:   rateHz,
+		periodCy: period,
+		nextAt:   period, // first sample after one full period
+		raise:    raise,
+		ctr:      ctr,
+	}
+	for ch, tr := range traces {
+		a.enabled[ch] = len(tr) > 0
+	}
+	return a, nil
+}
+
+// Tick advances the ADC to the given platform cycle, publishing any due
+// samples. Traces wrap around when exhausted, modelling a continuing signal.
+func (a *ADC) Tick(cycle uint64) {
+	for float64(cycle) >= a.nextAt {
+		a.sample()
+		a.nextAt += a.periodCy
+	}
+}
+
+func (a *ADC) sample() {
+	var irq uint16
+	for ch := 0; ch < NumADCChannels; ch++ {
+		if !a.enabled[ch] {
+			continue
+		}
+		bit := uint16(isa.IRQADC0) << uint(ch)
+		if a.ready&bit != 0 {
+			// Previous sample was never read: real-time violation.
+			a.overruns++
+		}
+		tr := a.traces[ch]
+		a.data[ch] = uint16(tr[a.idx%len(tr)])
+		a.ready |= bit
+		irq |= bit
+	}
+	a.idx++
+	a.ctr.ADCSamples++
+	if irq != 0 && a.raise != nil {
+		a.raise(irq)
+	}
+}
+
+// ReadData returns the latest sample of channel ch and clears its ready bit
+// (reading the data register acknowledges the sample).
+func (a *ADC) ReadData(ch int) uint16 {
+	if ch < 0 || ch >= NumADCChannels {
+		return 0
+	}
+	a.ready &^= uint16(isa.IRQADC0) << uint(ch)
+	return a.data[ch]
+}
+
+// Status returns the per-channel data-ready mask (RegADCStatus).
+func (a *ADC) Status() uint16 { return a.ready }
+
+// Overruns returns how many samples were overwritten before being read; any
+// non-zero value after warm-up means the configuration missed real time.
+func (a *ADC) Overruns() uint64 { return a.overruns }
+
+// SamplesPublished returns the number of sampling instants so far.
+func (a *ADC) SamplesPublished() int { return a.idx }
+
+// RateHz returns the configured sampling rate.
+func (a *ADC) RateHz() float64 { return a.rateHz }

@@ -1,0 +1,170 @@
+package periph
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/power"
+)
+
+func threeTraces(n int) [NumADCChannels][]int16 {
+	var tr [NumADCChannels][]int16
+	for ch := range tr {
+		tr[ch] = make([]int16, n)
+		for i := range tr[ch] {
+			tr[ch][i] = int16(ch*1000 + i)
+		}
+	}
+	return tr
+}
+
+func TestSamplingCadence(t *testing.T) {
+	ctr := &power.Counters{}
+	var irqs []uint16
+	a, err := NewADC(threeTraces(10), 250, 1e6, func(m uint16) { irqs = append(irqs, m) }, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MHz / 250 Hz = 4000 cycles per sample.
+	for cyc := uint64(0); cyc <= 4000; cyc++ {
+		a.Tick(cyc)
+	}
+	if a.SamplesPublished() != 1 {
+		t.Fatalf("samples after 4000 cycles = %d, want 1", a.SamplesPublished())
+	}
+	for cyc := uint64(4000); cyc <= 12000; cyc++ {
+		a.ReadData(0)
+		a.ReadData(1)
+		a.ReadData(2)
+		a.Tick(cyc)
+	}
+	if a.SamplesPublished() != 3 {
+		t.Errorf("samples after 12000 cycles = %d, want 3 (at 4000, 8000, 12000)", a.SamplesPublished())
+	}
+	if len(irqs) != 3 || irqs[0] != isa.IRQADC {
+		t.Errorf("irqs = %v, want 3 x all-channel mask", irqs)
+	}
+	if ctr.ADCSamples != 3 {
+		t.Errorf("counter ADCSamples = %d", ctr.ADCSamples)
+	}
+}
+
+func TestReadClearsReady(t *testing.T) {
+	a, err := NewADC(threeTraces(10), 250, 1e6, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(4000)
+	if a.Status() != isa.IRQADC {
+		t.Fatalf("status = %#x, want all ready", a.Status())
+	}
+	v := a.ReadData(1)
+	if v != 1000 {
+		t.Errorf("channel 1 sample = %d, want 1000", v)
+	}
+	if a.Status()&isa.IRQADC1 != 0 {
+		t.Error("reading must clear the channel's ready bit")
+	}
+	if a.Status()&(isa.IRQADC0|isa.IRQADC2) == 0 {
+		t.Error("other channels must stay ready")
+	}
+}
+
+func TestOverrunDetection(t *testing.T) {
+	a, err := NewADC(threeTraces(10), 250, 1e6, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(4000)
+	a.Tick(8000) // nothing read in between: 3 channels overrun
+	if a.Overruns() != 3 {
+		t.Errorf("overruns = %d, want 3", a.Overruns())
+	}
+}
+
+func TestTraceWrapsAround(t *testing.T) {
+	a, err := NewADC(threeTraces(2), 250, 1e6, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(4000)
+	if got := a.ReadData(0); got != 0 {
+		t.Errorf("sample 0 = %d", got)
+	}
+	a.Tick(8000)
+	if got := a.ReadData(0); got != 1 {
+		t.Errorf("sample 1 = %d", got)
+	}
+	a.Tick(12000)
+	if got := a.ReadData(0); got != 0 {
+		t.Errorf("sample 2 should wrap to trace[0], got %d", got)
+	}
+}
+
+func TestDisabledChannel(t *testing.T) {
+	var tr [NumADCChannels][]int16
+	tr[0] = []int16{5}
+	a, err := NewADC(tr, 250, 1e6, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(4000)
+	if a.Status() != isa.IRQADC0 {
+		t.Errorf("status = %#x, want only channel 0", a.Status())
+	}
+	a.Tick(8000)
+	a.Tick(12000)
+	if a.Overruns() != 2 {
+		t.Errorf("overruns = %d, want 2 (only the enabled channel)", a.Overruns())
+	}
+}
+
+func TestFractionalPeriodNoDrift(t *testing.T) {
+	// 3 Hz at 1 kHz clock: period 333.33 cycles. Over 30 simulated
+	// seconds the ADC must publish 3 * 30 = 90 +/- 1 samples.
+	var tr [NumADCChannels][]int16
+	tr[0] = []int16{1}
+	a, err := NewADC(tr, 3, 1000, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cyc := uint64(0); cyc < 30_000; cyc++ {
+		a.Tick(cyc)
+		a.ReadData(0)
+	}
+	if got := a.SamplesPublished(); got < 89 || got > 90 {
+		t.Errorf("samples over 30s at 3Hz = %d, want 89..90", got)
+	}
+}
+
+func TestNegativeSamplesRoundTrip(t *testing.T) {
+	var tr [NumADCChannels][]int16
+	tr[0] = []int16{-123}
+	a, err := NewADC(tr, 250, 1e6, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(4000)
+	if got := int16(a.ReadData(0)); got != -123 {
+		t.Errorf("negative sample = %d, want -123", got)
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewADC(threeTraces(1), 0, 1e6, nil, &power.Counters{}); err == nil {
+		t.Error("want error for zero rate")
+	}
+	if _, err := NewADC(threeTraces(1), 250, 0, nil, &power.Counters{}); err == nil {
+		t.Error("want error for zero clock")
+	}
+	if _, err := NewADC(threeTraces(1), 2e6, 1e6, nil, &power.Counters{}); err == nil {
+		t.Error("want error when rate exceeds clock")
+	}
+}
+
+func TestReadDataOutOfRange(t *testing.T) {
+	a, _ := NewADC(threeTraces(1), 250, 1e6, nil, &power.Counters{})
+	if a.ReadData(-1) != 0 || a.ReadData(NumADCChannels) != 0 {
+		t.Error("out-of-range channels must read 0")
+	}
+}

@@ -1,0 +1,379 @@
+// Package platform assembles the full WBSN system simulator: computing
+// cores, multi-banked instruction and data memories, interconnect
+// (crossbars with broadcasting in the multi-core, simple decoders in the
+// single-core baseline), the synchronizer unit, the ADC peripheral, and the
+// single-threaded deterministic cycle loop tying them together (paper §IV).
+//
+// Three architecture variants are supported: SC (single-core baseline), MC
+// (multi-core with the proposed synchronization) and MC-nosync (multi-core
+// with busy-waiting instead of the sync ISE, Figure 6's middle bar).
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/interco"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/periph"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// CodeSeg is one placed code segment of a program image.
+type CodeSeg struct {
+	Base  int // IM word address
+	Words []isa.Word
+}
+
+// DataSeg is one placed shared-data segment (logical shared addresses).
+type DataSeg struct {
+	Base  uint16 // logical DM word address (< SharedLimit for MC)
+	Words []uint16
+}
+
+// PrivSeg is a per-core private-data segment (multi-core only).
+type PrivSeg struct {
+	Core  int
+	Base  uint16 // logical DM word address (>= SharedLimit)
+	Words []uint16
+}
+
+// Image is a fully linked program ready to load, produced by internal/link.
+type Image struct {
+	Code          []CodeSeg
+	Shared        []DataSeg
+	Priv          []PrivSeg
+	Entries       []int // entry PC per core; len(Entries) == number of used cores
+	SharedLimit   uint16
+	NumSyncPoints int
+
+	// Static footprint for Table I's code-overhead row.
+	StaticInstrs     int
+	StaticSyncInstrs int
+}
+
+// CodeOverheadPct returns the sync-ISE share of the static code footprint.
+func (img *Image) CodeOverheadPct() float64 {
+	if img.StaticInstrs == 0 {
+		return 0
+	}
+	return 100 * float64(img.StaticSyncInstrs) / float64(img.StaticInstrs)
+}
+
+// Config selects the simulated hardware configuration.
+type Config struct {
+	Arch     power.Arch
+	ClockHz  float64
+	VoltageV float64 // recorded for power reporting; does not alter timing
+
+	SampleRateHz float64
+	Traces       [periph.NumADCChannels][]int16
+
+	// MaxDebug caps the debug/error traces (0 means a generous default).
+	MaxDebug int
+}
+
+// Platform is one instantiated system ready to run.
+type Platform struct {
+	cfg   Config
+	img   *Image
+	ncore int
+
+	cores  []*cpu.Core
+	imem   *mem.IMem
+	dmem   *mem.DMem
+	imx    *interco.Crossbar
+	dmx    *interco.Crossbar
+	sync   *core.Synchronizer
+	adc    *periph.ADC
+	mapper mem.Mapper
+
+	ctr   power.Counters
+	cycle uint64
+
+	perCoreBusy []uint64 // executed+stalled+bubble cycles per core
+
+	// Worst-case busy cycles of any single core within one ADC sample
+	// period, for dimensioning bursty sequential workloads.
+	lastSample    int
+	windowBusy    []uint32
+	maxSampleBusy uint64
+
+	// scratch buffers reused every cycle
+	imReqs  []interco.Request
+	imWho   []int
+	dmReqs  []interco.Request
+	dmWho   []int
+	status  []coreStatus
+	loadVal []uint16
+
+	debug    []DebugEntry
+	errCodes []DebugEntry
+	hostFlag uint16
+
+	tracer     *trace.Recorder
+	lastStatus []coreStatus
+
+	fault error
+}
+
+// SetTracer attaches an event recorder (nil detaches). Tracing records core
+// state transitions, sync operations, sleeps, wakes, interrupts and ADC
+// samples; it does not alter timing.
+func (p *Platform) SetTracer(r *trace.Recorder) {
+	p.tracer = r
+	p.lastStatus = make([]coreStatus, p.ncore)
+	for i := range p.lastStatus {
+		p.lastStatus[i] = stHalted + 1 // force a first transition record
+	}
+}
+
+// Tracer returns the attached recorder, if any.
+func (p *Platform) Tracer() *trace.Recorder { return p.tracer }
+
+// DebugEntry is one value written to the debug or error MMIO ports.
+type DebugEntry struct {
+	Core  uint8
+	Cycle uint64
+	Value uint16
+}
+
+type coreStatus uint8
+
+const (
+	stIdle coreStatus = iota // gated or waking
+	stExec
+	stIMStall
+	stDMStall
+	stBubble
+	stHalted
+)
+
+// New builds a platform from a configuration and a linked image.
+func New(cfg Config, img *Image) (*Platform, error) {
+	n := len(img.Entries)
+	if n == 0 || n > isa.MaxCores {
+		return nil, fmt.Errorf("platform: image uses %d cores, want 1..%d", n, isa.MaxCores)
+	}
+	if cfg.Arch == power.SC && n != 1 {
+		return nil, fmt.Errorf("platform: single-core architecture cannot run a %d-core image", n)
+	}
+	if cfg.ClockHz <= 0 {
+		return nil, fmt.Errorf("platform: non-positive clock %v", cfg.ClockHz)
+	}
+	if cfg.MaxDebug == 0 {
+		cfg.MaxDebug = 1 << 20
+	}
+
+	p := &Platform{
+		cfg:         cfg,
+		img:         img,
+		ncore:       n,
+		imem:        mem.NewIMem(),
+		dmem:        mem.NewDMem(),
+		perCoreBusy: make([]uint64, n),
+		windowBusy:  make([]uint32, n),
+		imReqs:      make([]interco.Request, 0, n),
+		imWho:       make([]int, 0, n),
+		dmReqs:      make([]interco.Request, 0, n),
+		dmWho:       make([]int, 0, n),
+		status:      make([]coreStatus, n),
+		loadVal:     make([]uint16, n),
+	}
+	p.sync = core.NewSynchronizer(n, img.NumSyncPoints, &p.ctr)
+
+	// Memory fabric: the multi-core uses crossbars and the ATU's
+	// interleaving; the baseline simple decoders and linear mapping.
+	if cfg.Arch.IsMulti() {
+		p.imx = interco.NewCrossbar(isa.IMBanks)
+		p.dmx = interco.NewCrossbar(isa.DMBanks)
+		priv := (isa.DMWords - int(img.SharedLimit)) / isa.MaxCores
+		// An odd private stride makes core*priv take eight distinct
+		// values modulo the bank count, so lock-step cores accessing
+		// the same private offset land in different banks instead of
+		// conflicting every cycle.
+		if priv%2 == 0 {
+			priv--
+		}
+		p.mapper = mem.ATU{SharedLimit: img.SharedLimit, PrivWords: priv}
+		// The ATU interleaves both sections over all banks, so every
+		// bank must stay powered (paper §V-A).
+		for b := 0; b < isa.DMBanks; b++ {
+			p.dmem.SetBankPower(b, true)
+		}
+	} else {
+		// Single core: same arbitration semantics, but one requester
+		// means every access is granted; model it with 1-bank-free
+		// crossbars for uniform code, and linear address mapping so
+		// unused banks stay off.
+		p.imx = interco.NewCrossbar(isa.IMBanks)
+		p.dmx = interco.NewCrossbar(isa.DMBanks)
+		p.mapper = mem.LinearMap{}
+		for _, seg := range img.Shared {
+			lo, _ := p.mapper.Map(0, seg.Base)
+			hi, _ := p.mapper.Map(0, seg.Base+uint16(len(seg.Words))-1)
+			for b := lo; b <= hi; b++ {
+				p.dmem.SetBankPower(b, true)
+			}
+		}
+	}
+
+	// Load code (powers the covered IM banks).
+	for _, seg := range img.Code {
+		if err := p.imem.Load(seg.Base, seg.Words); err != nil {
+			return nil, err
+		}
+	}
+	// Load data through the address mapping.
+	load := func(coreID int, base uint16, words []uint16) error {
+		for i, w := range words {
+			addr := base + uint16(i)
+			if isa.IsMMIO(addr) {
+				return fmt.Errorf("platform: data segment reaches MMIO at %#x", addr)
+			}
+			b, o := p.mapper.Map(coreID, addr)
+			if !p.dmem.Write(b, o, w) {
+				return fmt.Errorf("platform: data load at %#x hits powered-off bank %d", addr, b)
+			}
+		}
+		return nil
+	}
+	for _, seg := range img.Shared {
+		if err := load(0, seg.Base, seg.Words); err != nil {
+			return nil, err
+		}
+	}
+	for _, seg := range img.Priv {
+		if seg.Core < 0 || seg.Core >= n {
+			return nil, fmt.Errorf("platform: private segment for core %d outside image", seg.Core)
+		}
+		if err := load(seg.Core, seg.Base, seg.Words); err != nil {
+			return nil, err
+		}
+	}
+
+	// Synchronization points mirror into the first shared-DM words.
+	if img.NumSyncPoints > 0 {
+		p.sync.Mirror = func(pt int, v uint16) {
+			b, o := p.mapper.Map(0, uint16(pt))
+			p.dmem.Write(b, o, v)
+		}
+	}
+
+	// Cores.
+	p.cores = make([]*cpu.Core, n)
+	for i, entry := range img.Entries {
+		p.cores[i] = cpu.New(i, entry)
+	}
+
+	// ADC wired to the synchronizer's interrupt lines (traced when a
+	// recorder is attached).
+	if cfg.SampleRateHz > 0 {
+		raise := func(mask uint16) {
+			if p.tracer != nil {
+				p.tracer.Record(p.cycle, -1, trace.KindIRQ, int32(mask), 0)
+			}
+			p.sync.RaiseIRQ(mask)
+		}
+		adc, err := periph.NewADC(cfg.Traces, cfg.SampleRateHz, cfg.ClockHz, raise, &p.ctr)
+		if err != nil {
+			return nil, err
+		}
+		p.adc = adc
+	}
+	return p, nil
+}
+
+// Counters exposes the accumulated activity counters.
+func (p *Platform) Counters() *power.Counters { return &p.ctr }
+
+// Cycle returns the current cycle number.
+func (p *Platform) Cycle() uint64 { return p.cycle }
+
+// CoreBusy returns the busy (executed+stalled+bubble) cycles of core c.
+func (p *Platform) CoreBusy(c int) uint64 { return p.perCoreBusy[c] }
+
+// MaxSampleBusy returns the worst-case busy cycles any core spent within a
+// single ADC sample period, the binding constraint for sequential workloads
+// with bursty on-demand processing.
+func (p *Platform) MaxSampleBusy() uint64 { return p.maxSampleBusy }
+
+// CoreState returns the synchronizer's view of core c.
+func (p *Platform) CoreState(c int) core.CoreState { return p.sync.State(c) }
+
+// CoreRegs returns a snapshot of core c's registers (for tests).
+func (p *Platform) CoreRegs(c int) [isa.NumRegs]uint16 { return p.cores[c].Regs }
+
+// Overruns returns the ADC overrun count (0 when no ADC is configured).
+func (p *Platform) Overruns() uint64 {
+	if p.adc == nil {
+		return 0
+	}
+	return p.adc.Overruns()
+}
+
+// Debug returns values written to RegDebugOut.
+func (p *Platform) Debug() []DebugEntry { return p.debug }
+
+// ErrCodes returns values written to RegDebugErr (application-level errors).
+func (p *Platform) ErrCodes() []DebugEntry { return p.errCodes }
+
+// Violations returns synchronizer protocol violations.
+func (p *Platform) Violations() []string { return p.sync.Violations() }
+
+// ActiveIMBanks returns the number of powered instruction banks.
+func (p *Platform) ActiveIMBanks() int { return p.imem.ActiveBanks() }
+
+// ActiveDMBanks returns the number of powered data banks.
+func (p *Platform) ActiveDMBanks() int { return p.dmem.ActiveBanks() }
+
+// PeekData reads logical address addr as seen by the given core, bypassing
+// timing (for tests and result extraction).
+func (p *Platform) PeekData(coreID int, addr uint16) (uint16, bool) {
+	if isa.IsMMIO(addr) {
+		return 0, false
+	}
+	b, o := p.mapper.Map(coreID, addr)
+	return p.dmem.Read(b, o)
+}
+
+// PokeData writes logical address addr as seen by the given core, bypassing
+// timing (for tests).
+func (p *Platform) PokeData(coreID int, addr uint16, v uint16) bool {
+	if isa.IsMMIO(addr) {
+		return false
+	}
+	b, o := p.mapper.Map(coreID, addr)
+	return p.dmem.Write(b, o, v)
+}
+
+// AllHalted reports whether every core has executed HALT.
+func (p *Platform) AllHalted() bool {
+	for c := 0; c < p.ncore; c++ {
+		if p.sync.State(c) != core.StateHalted {
+			return false
+		}
+	}
+	return true
+}
+
+// PowerConfig assembles the power.SystemConfig describing this platform at
+// its operating point.
+func (p *Platform) PowerConfig() power.SystemConfig {
+	return power.SystemConfig{
+		Arch:          p.cfg.Arch,
+		NumCores:      p.ncore,
+		ActiveIMBanks: p.imem.ActiveBanks(),
+		ActiveDMBanks: p.dmem.ActiveBanks(),
+		VoltageV:      p.cfg.VoltageV,
+		FreqHz:        p.cfg.ClockHz,
+	}
+}
+
+// PowerReport computes the power decomposition of the run so far.
+func (p *Platform) PowerReport(params *power.Params) (*power.Report, error) {
+	return power.Compute(p.PowerConfig(), &p.ctr, params)
+}

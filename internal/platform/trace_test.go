@@ -1,0 +1,91 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// TestTracerCapturesSyncProtocol attaches a recorder to the producer-consumer
+// program and checks that the recorded event stream tells the paper's story:
+// SNOP registration, gated SLEEP, the producer's SINC/SDEC pair, and a wake.
+func TestTracerCapturesSyncProtocol(t *testing.T) {
+	p, err := New(mcCfg(), producerConsumerImage(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(4096)
+	p.SetTracer(rec)
+	if err := p.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.AllHalted() {
+		t.Fatal("program did not finish")
+	}
+	counts := map[trace.Kind]int{}
+	sawGatedSleep := false
+	sawSINC, sawSDEC, sawSNOP := false, false, false
+	for _, e := range rec.Events() {
+		counts[e.Kind]++
+		switch e.Kind {
+		case trace.KindSleep:
+			if e.Arg1 == 1 {
+				sawGatedSleep = true
+			}
+		case trace.KindSync:
+			switch isa.Opcode(e.Arg1) {
+			case isa.OpSINC:
+				sawSINC = true
+			case isa.OpSDEC:
+				sawSDEC = true
+			case isa.OpSNOP:
+				sawSNOP = true
+			}
+		}
+	}
+	if !sawSINC || !sawSDEC || !sawSNOP {
+		t.Errorf("sync ops seen: SINC=%v SDEC=%v SNOP=%v", sawSINC, sawSDEC, sawSNOP)
+	}
+	if !sawGatedSleep {
+		t.Error("no gated SLEEP recorded")
+	}
+	if counts[trace.KindWake] == 0 {
+		t.Error("no wake transitions recorded")
+	}
+	if counts[trace.KindHalt] != 2 {
+		t.Errorf("halt events = %d, want 2", counts[trace.KindHalt])
+	}
+	// Wake events must follow a sync or state event chronology-wise: the
+	// stream is ordered by cycle.
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+// TestTracerDoesNotAlterExecution runs the same program with and without a
+// recorder and compares the final architectural outcome.
+func TestTracerDoesNotAlterExecution(t *testing.T) {
+	run := func(withTracer bool) (uint16, uint64) {
+		p, err := New(mcCfg(), producerConsumerImage(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withTracer {
+			p.SetTracer(trace.NewRecorder(0))
+		}
+		if err := p.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		sum, _ := p.PeekData(0, 30)
+		return sum, p.Cycle()
+	}
+	s1, c1 := run(false)
+	s2, c2 := run(true)
+	if s1 != s2 || c1 != c2 {
+		t.Errorf("tracing changed execution: sum %d/%d, cycles %d/%d", s1, s2, c1, c2)
+	}
+}

@@ -1,0 +1,96 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/power"
+)
+
+// TestMaxSampleBusyTracksBursts verifies the per-sample worst-case busy
+// tracking that dimensions bursty sequential workloads: a program that works
+// hard on every fourth sample must report the burst, not the average.
+func TestMaxSampleBusyTracksBursts(t *testing.T) {
+	src := `
+.code main
+    li   r4, 0x7F03     ; subscribe channel 0
+    li   r1, 1
+    sw   r1, 0(r4)
+    li   r6, 0          ; sample counter
+loop:
+    sleep
+    li   r4, 0x7F0B
+    lw   r1, 0(r4)
+    andi r1, r1, 1
+    beqz r1, loop
+    li   r4, 0x7F04
+    li   r1, 1
+    sw   r1, 0(r4)
+    li   r4, 0x7F08     ; consume the sample
+    lw   r1, 0(r4)
+    ; every 4th sample: burn ~3000 extra cycles
+    andi r2, r6, 3
+    bnez r2, next
+    li   r3, 1000
+burn:
+    addi r3, r3, -1
+    bnez r3, burn
+next:
+    addi r6, r6, 1
+    j    loop
+`
+	img := buildImage(t, 0, 0, []string{src}, []int{0}, nil)
+	cfg := scCfg()
+	cfg.ClockHz = 4e6
+	cfg.SampleRateHz = 250
+	cfg.Traces[0] = make([]int16, 16)
+	p, err := New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunSeconds(0.2); err != nil {
+		t.Fatal(err)
+	}
+	// The burn loop costs ~3000 cycles (1000 iterations x (addi+bnez+bubble));
+	// base per-sample work is ~20 cycles. The tracked max must reflect the
+	// burst, and clearly exceed the mean busy per sample window.
+	meanPerSample := p.CoreBusy(0) / p.Counters().ADCSamples
+	if p.MaxSampleBusy() < 2000 {
+		t.Errorf("MaxSampleBusy = %d, want >= 2000 (the burst)", p.MaxSampleBusy())
+	}
+	if p.MaxSampleBusy() <= meanPerSample+500 {
+		t.Errorf("MaxSampleBusy = %d does not stand out from mean %d", p.MaxSampleBusy(), meanPerSample)
+	}
+}
+
+// TestMaxSampleBusyZeroWithoutADC checks the tracker stays inert when no
+// peripheral drives sample windows.
+func TestMaxSampleBusyZeroWithoutADC(t *testing.T) {
+	src := ".code main\n li r1, 100\nl: addi r1, r1, -1\n bnez r1, l\n halt\n"
+	img := buildImage(t, 0, 0, []string{src}, []int{0}, nil)
+	p, err := New(scCfg(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxSampleBusy() != 0 {
+		t.Errorf("MaxSampleBusy = %d without an ADC", p.MaxSampleBusy())
+	}
+}
+
+// TestPowerConfigReflectsPlatform checks the power-report plumbing fields.
+func TestPowerConfigReflectsPlatform(t *testing.T) {
+	img := producerConsumerImage(t)
+	p, err := New(mcCfg(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := p.PowerConfig()
+	if pc.Arch != power.MC || pc.NumCores != 2 || pc.ActiveDMBanks != 16 {
+		t.Errorf("PowerConfig = %+v", pc)
+	}
+	if pc.FreqHz != 1e6 || pc.VoltageV != 0.5 {
+		t.Errorf("operating point = %v Hz / %v V", pc.FreqHz, pc.VoltageV)
+	}
+}

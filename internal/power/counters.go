@@ -1,0 +1,125 @@
+// Package power implements the energy/power model of the WBSN platform.
+//
+// Following the paper's methodology (§IV-C), the architectural simulator is
+// annotated with per-component energy costs (the paper derives them from
+// post-layout RTL simulation in a 90 nm low-leakage process; here they are
+// plausible constants calibrated so the absolute numbers land near Table I).
+// Activity counters collected during simulation are combined with the
+// operating voltage and frequency to produce average-power figures and the
+// per-component decomposition of Figure 6.
+package power
+
+// Counters accumulates architectural activity during a simulation run. All
+// platform components share one instance.
+type Counters struct {
+	// Cycles is the number of simulated platform clock cycles.
+	Cycles uint64
+
+	// Core activity, summed over all instantiated cores.
+	CoreActive uint64 // cycles that executed an instruction
+	CoreStall  uint64 // cycles stalled on a memory-bank conflict
+	CoreGated  uint64 // cycles spent clock-gated (SLEEP)
+	CoreHalted uint64 // cycles after HALT (power-gated, free)
+
+	// Instrs counts executed instructions; SyncInstrs the subset belonging
+	// to the sync ISE (SINC/SDEC/SNOP/SLEEP) for the paper's run-time
+	// overhead metric; BranchBubbles the taken-branch pipeline bubbles.
+	Instrs        uint64
+	SyncInstrs    uint64
+	BranchBubbles uint64
+
+	// Instruction-memory traffic. Requests counts core fetch attempts;
+	// Accesses counts bank reads actually performed after broadcast
+	// merging. Requests-Accesses is the energy saved by lock-step.
+	IMReqs     uint64
+	IMAccesses uint64
+	IMConflict uint64 // requests delayed by a bank conflict
+
+	// Data-memory traffic, with the same request/access distinction.
+	DMReqs     uint64
+	DMReads    uint64
+	DMWrites   uint64
+	DMConflict uint64
+
+	// Memory-mapped I/O accesses (outside the banked arrays).
+	MMIOReads  uint64
+	MMIOWrites uint64
+
+	// Interconnect requests routed (crossbar in MC, decoder in SC).
+	XbarReqs uint64
+
+	// Synchronizer activity.
+	SyncOps         uint64 // SINC/SDEC/SNOP operations committed
+	SyncMerged      uint64 // operations merged into another same-cycle op
+	SyncWakes       uint64 // core wake-ups issued
+	SyncPointWrites uint64 // read-modify-writes of sync points in shared DM
+
+	// UngatedCoreCycles feeds the clock-tree leaf energy: the sum over all
+	// cycles of the number of cores receiving a clock (active or stalled).
+	UngatedCoreCycles uint64
+
+	// Peripheral activity.
+	IRQs       uint64
+	ADCSamples uint64
+}
+
+// IMBroadcastPct returns the share of fetch requests satisfied by a merged
+// (broadcast) access instead of a dedicated bank read, in percent. This is
+// Table I's "IM Broadcast (%)".
+func (c *Counters) IMBroadcastPct() float64 {
+	if c.IMReqs == 0 {
+		return 0
+	}
+	return 100 * float64(c.IMReqs-c.IMAccesses) / float64(c.IMReqs)
+}
+
+// DMBroadcastPct returns the share of data requests satisfied by a merged
+// access, in percent ("DM Broadcast (%)").
+func (c *Counters) DMBroadcastPct() float64 {
+	if c.DMReqs == 0 {
+		return 0
+	}
+	accesses := c.DMReads + c.DMWrites
+	if accesses > c.DMReqs {
+		return 0
+	}
+	return 100 * float64(c.DMReqs-accesses) / float64(c.DMReqs)
+}
+
+// RuntimeOverheadPct returns the dynamically executed sync-ISE instructions
+// as a share of all executed instructions ("Run-time Overhead (%)").
+func (c *Counters) RuntimeOverheadPct() float64 {
+	if c.Instrs == 0 {
+		return 0
+	}
+	return 100 * float64(c.SyncInstrs) / float64(c.Instrs)
+}
+
+// Add accumulates o into c, for aggregating runs.
+func (c *Counters) Add(o *Counters) {
+	c.Cycles += o.Cycles
+	c.CoreActive += o.CoreActive
+	c.CoreStall += o.CoreStall
+	c.CoreGated += o.CoreGated
+	c.CoreHalted += o.CoreHalted
+	c.Instrs += o.Instrs
+	c.SyncInstrs += o.SyncInstrs
+	c.BranchBubbles += o.BranchBubbles
+	c.IMReqs += o.IMReqs
+	c.IMAccesses += o.IMAccesses
+	c.IMConflict += o.IMConflict
+	c.DMReqs += o.DMReqs
+	c.DMReads += o.DMReads
+	c.DMWrites += o.DMWrites
+	c.DMConflict += o.DMConflict
+	c.MMIOReads += o.MMIOReads
+	c.MMIOWrites += o.MMIOWrites
+	c.XbarReqs += o.XbarReqs
+	c.SyncOps += o.SyncOps
+	c.SyncMerged += o.SyncMerged
+	c.SyncWakes += o.SyncWakes
+	c.SyncPointWrites += o.SyncPointWrites
+	c.UngatedCoreCycles += o.UngatedCoreCycles
+	c.IRQs += o.IRQs
+	c.ADCSamples += o.ADCSamples
+}

@@ -1,0 +1,134 @@
+package power
+
+import "fmt"
+
+// SystemConfig describes the powered hardware inventory of a run, needed to
+// turn activity counters into power: which components exist (and leak) and
+// the operating point.
+type SystemConfig struct {
+	Arch          Arch
+	NumCores      int // instantiated, powered cores
+	ActiveIMBanks int // powered instruction banks
+	ActiveDMBanks int // powered data banks
+	VoltageV      float64
+	FreqHz        float64
+}
+
+// Component identifies one slice of the Figure 6 power decomposition.
+type Component uint8
+
+// Decomposition components (Figure 6).
+const (
+	CompCores   Component = iota // cores & logic
+	CompIMem                     // instruction-memory accesses + bank leakage
+	CompDMem                     // data-memory accesses + bank leakage
+	CompInterco                  // crossbars (MC) or decoders (SC)
+	CompClock                    // clock tree
+	CompSync                     // synchronizer unit
+	NumComponents
+)
+
+func (c Component) String() string {
+	switch c {
+	case CompCores:
+		return "cores & logic"
+	case CompIMem:
+		return "IM"
+	case CompDMem:
+		return "DM"
+	case CompInterco:
+		return "interconnect"
+	case CompClock:
+		return "clock tree"
+	case CompSync:
+		return "synchronizer"
+	}
+	return fmt.Sprintf("comp?%d", uint8(c))
+}
+
+// Report is the power outcome of one simulated run.
+type Report struct {
+	Config    SystemConfig
+	DurationS float64 // simulated seconds = Cycles / FreqHz
+
+	// Per-component average power in µW; each entry includes that
+	// component's leakage share.
+	DynamicUW [NumComponents]float64
+	LeakUW    [NumComponents]float64
+
+	TotalUW        float64
+	TotalDynamicUW float64
+	TotalLeakUW    float64
+}
+
+// ComponentUW returns dynamic+leakage power of one component.
+func (r *Report) ComponentUW(c Component) float64 { return r.DynamicUW[c] + r.LeakUW[c] }
+
+// Compute turns counters into a power report at the configured operating
+// point. The simulated duration is Cycles/FreqHz; average power is total
+// energy over that duration plus leakage of all powered components.
+func Compute(cfg SystemConfig, c *Counters, p *Params) (*Report, error) {
+	if cfg.FreqHz <= 0 {
+		return nil, fmt.Errorf("power: non-positive frequency %v", cfg.FreqHz)
+	}
+	if c.Cycles == 0 {
+		return nil, fmt.Errorf("power: no cycles simulated")
+	}
+	r := &Report{Config: cfg, DurationS: float64(c.Cycles) / cfg.FreqHz}
+
+	dynScale := p.DynScale(cfg.VoltageV)
+	leakScale := p.LeakScale(cfg.VoltageV)
+	// pJ of energy over the run -> average µW: 1e-12 J / s * 1e6 = 1e-6.
+	toUW := dynScale / r.DurationS * 1e-6
+
+	// Cores & logic.
+	r.DynamicUW[CompCores] = toUW * (float64(c.CoreActive)*p.CoreActivePJ +
+		float64(c.CoreStall)*p.CoreStallPJ +
+		float64(c.CoreGated)*p.CoreGatedPJ)
+	r.LeakUW[CompCores] = leakScale * p.CoreLeakUW * float64(cfg.NumCores)
+
+	// Instruction memory: accesses already account for broadcast merging.
+	r.DynamicUW[CompIMem] = toUW * float64(c.IMAccesses) * p.IMReadPJ
+	r.LeakUW[CompIMem] = leakScale * p.IMBankLeakUW * float64(cfg.ActiveIMBanks)
+
+	// Data memory, including the synchronizer's sync-point writes and the
+	// (cheap) MMIO register file.
+	r.DynamicUW[CompDMem] = toUW * (float64(c.DMReads+c.DMWrites+c.SyncPointWrites)*p.DMAccessPJ +
+		float64(c.MMIOReads+c.MMIOWrites)*p.MMIOAccessPJ)
+	r.LeakUW[CompDMem] = leakScale * p.DMBankLeakUW * float64(cfg.ActiveDMBanks)
+
+	// Interconnect: logarithmic crossbars in the multi-core, plain
+	// decoders in the single-core baseline.
+	if cfg.Arch.IsMulti() {
+		r.DynamicUW[CompInterco] = toUW * float64(c.XbarReqs) * p.XbarPerReqPJ
+		r.LeakUW[CompInterco] = leakScale * p.XbarLeakUW
+	} else {
+		r.DynamicUW[CompInterco] = toUW * float64(c.XbarReqs) * p.DecoderPerReqPJ
+		r.LeakUW[CompInterco] = leakScale * p.DecoderLeakUW
+	}
+
+	// Clock tree: root toggles every cycle, leaves only for ungated cores.
+	clockBase := p.ClockBaseSCPJ
+	clockLeak := p.ClockLeakSCUW
+	if cfg.Arch.IsMulti() {
+		clockBase = p.ClockBaseMCPJ
+		clockLeak = p.ClockLeakMCUW
+	}
+	r.DynamicUW[CompClock] = toUW * (float64(c.Cycles)*clockBase +
+		float64(c.UngatedCoreCycles)*p.ClockPerCorePJ)
+	r.LeakUW[CompClock] = leakScale * clockLeak
+
+	// Synchronizer (only instantiated with the proposed approach).
+	if cfg.Arch == MC {
+		r.DynamicUW[CompSync] = toUW * (float64(c.SyncOps)*p.SyncOpPJ +
+			float64(c.Cycles)*p.SyncIdlePJ)
+		r.LeakUW[CompSync] = leakScale * p.SyncLeakUW
+	}
+
+	for comp := Component(0); comp < NumComponents; comp++ {
+		r.TotalDynamicUW += r.DynamicUW[comp]
+		r.TotalLeakUW += r.LeakUW[comp]
+	}
+	r.TotalUW = r.TotalDynamicUW + r.TotalLeakUW
+	return r, nil
+}

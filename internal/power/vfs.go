@@ -1,0 +1,102 @@
+package power
+
+import "fmt"
+
+// Arch identifies the platform variants evaluated in the paper.
+type Arch uint8
+
+// Architecture variants.
+const (
+	// SC is the single-core baseline: same memory hierarchy, simple
+	// decoders instead of crossbars (higher f_max at equal voltage).
+	SC Arch = iota
+	// MC is the multi-core platform with the proposed synchronization.
+	MC
+	// MCNoSync is the multi-core platform without the proposed approach:
+	// active waiting for producer-consumer relationships (Figure 6).
+	MCNoSync
+)
+
+func (a Arch) String() string {
+	switch a {
+	case SC:
+		return "SC"
+	case MC:
+		return "MC"
+	case MCNoSync:
+		return "MC-nosync"
+	}
+	return fmt.Sprintf("arch?%d", uint8(a))
+}
+
+// IsMulti reports whether the variant uses the multi-core fabric (crossbars,
+// ATU, all-DM-banks-active rule).
+func (a Arch) IsMulti() bool { return a != SC }
+
+// OperatingPoint is one row of the voltage-frequency table: the maximum
+// clock frequency each architecture sustains at a supply voltage.
+// The single-core fabric replaces crossbars with simple decoders, allowing
+// higher clock frequencies at the same voltage level (paper §IV-B); the
+// ratio below reflects the crossbar being on the memory critical path.
+type OperatingPoint struct {
+	VoltageV float64
+	FMaxMCHz float64
+	FMaxSCHz float64
+}
+
+// SCFreqAdvantage is f_max(SC)/f_max(MC) at equal voltage.
+const SCFreqAdvantage = 1.4
+
+// MinClockHz is the platform's minimum clock frequency: the paper's
+// multi-core executions all report 1.0 MHz, the floor of the clock network.
+const MinClockHz = 1.0e6
+
+// DefaultVFS returns the voltage-frequency table used by the reproduction.
+// f_max follows an alpha-power-law-like progression typical of 90 nm
+// low-leakage logic between 0.5 V and 1.2 V.
+func DefaultVFS() []OperatingPoint {
+	mc := []struct {
+		v, f float64
+	}{
+		{0.5, 1.05e6},
+		{0.6, 2.6e6},
+		{0.7, 4.6e6},
+		{0.8, 7.0e6},
+		{0.9, 9.8e6},
+		{1.0, 13.0e6},
+		{1.1, 16.0e6},
+		{1.2, 19.0e6},
+	}
+	pts := make([]OperatingPoint, len(mc))
+	for i, e := range mc {
+		pts[i] = OperatingPoint{VoltageV: e.v, FMaxMCHz: e.f, FMaxSCHz: e.f * SCFreqAdvantage}
+	}
+	return pts
+}
+
+// FMax returns the table's maximum frequency for arch at the given point.
+func (op OperatingPoint) FMax(arch Arch) float64 {
+	if arch == SC {
+		return op.FMaxSCHz
+	}
+	return op.FMaxMCHz
+}
+
+// MinVoltage returns the lowest operating point whose f_max for arch is at
+// least freqHz. It errors when the demand exceeds the fastest point.
+func MinVoltage(vfs []OperatingPoint, arch Arch, freqHz float64) (OperatingPoint, error) {
+	for _, op := range vfs {
+		if op.FMax(arch) >= freqHz {
+			return op, nil
+		}
+	}
+	return OperatingPoint{}, fmt.Errorf("power: no operating point sustains %.2f MHz for %v", freqHz/1e6, arch)
+}
+
+// ClampFreq applies the platform clock floor to a demanded frequency.
+func ClampFreq(freqHz float64) float64 {
+	if freqHz < MinClockHz {
+		return MinClockHz
+	}
+	return freqHz
+}

@@ -1,0 +1,333 @@
+// Package prog is the structured program builder of the tool-chain: a typed
+// front-end over WB16 assembly with a register pool, control-flow helpers
+// and symbolic data references. The benchmark applications are written once
+// against this builder and lowered to single-core, multi-core-synchronized
+// or busy-waiting variants (the paper's mapping step, §III-B).
+//
+// The builder emits assembly text consumed by internal/asm via internal/link,
+// so generated programs stay inspectable and the whole tool-chain path —
+// compiler-like front-end, assembler, builder/linker — matches the paper's
+// §IV-C description.
+package prog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is an allocated machine register handle.
+type Reg struct {
+	n     uint8
+	temp  bool
+	freed bool
+}
+
+// String returns the assembler spelling.
+func (r *Reg) String() string { return fmt.Sprintf("r%d", r.n) }
+
+// Zero is the hardwired-zero register r0.
+var Zero = &Reg{n: 0}
+
+// Builder accumulates one code segment.
+type Builder struct {
+	segName string
+	lines   []string
+	inUse   [16]bool
+	nlabels int
+	err     error
+}
+
+// New returns a builder for the named code segment. Registers r1..r13 are
+// allocatable; r14/r15 stay free for conventions (sp/ra) and r0 is zero.
+func New(segName string) *Builder {
+	b := &Builder{segName: segName}
+	b.inUse[0] = true  // r0
+	b.inUse[14] = true // sp
+	b.inUse[15] = true // ra
+	b.raw(".code " + segName)
+	return b
+}
+
+// Err returns the first builder error (register exhaustion, double free).
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("prog: %s: %s", b.segName, fmt.Sprintf(format, args...))
+	}
+}
+
+// Reg allocates a register for long-lived use.
+func (b *Builder) Reg() *Reg { return b.alloc(false) }
+
+// Temp allocates a scratch register the caller should Free promptly.
+func (b *Builder) Temp() *Reg { return b.alloc(true) }
+
+func (b *Builder) alloc(temp bool) *Reg {
+	for n := uint8(1); n <= 13; n++ {
+		if !b.inUse[n] {
+			b.inUse[n] = true
+			return &Reg{n: n, temp: temp}
+		}
+	}
+	b.fail("out of registers")
+	return &Reg{n: 13}
+}
+
+// Free returns a register to the pool.
+func (b *Builder) Free(rs ...*Reg) {
+	for _, r := range rs {
+		if r.n == 0 {
+			continue
+		}
+		if r.freed || !b.inUse[r.n] {
+			b.fail("double free of r%d", r.n)
+			continue
+		}
+		r.freed = true
+		b.inUse[r.n] = false
+	}
+}
+
+// Source returns the accumulated assembly text.
+func (b *Builder) Source() string { return strings.Join(b.lines, "\n") + "\n" }
+
+func (b *Builder) raw(line string) { b.lines = append(b.lines, line) }
+
+// Comment emits an assembly comment.
+func (b *Builder) Comment(format string, args ...any) {
+	b.raw("    ; " + fmt.Sprintf(format, args...))
+}
+
+func (b *Builder) ins(format string, args ...any) {
+	b.raw("    " + fmt.Sprintf(format, args...))
+}
+
+// NewLabel reserves a fresh unique label name.
+func (b *Builder) NewLabel(hint string) string {
+	b.nlabels++
+	return fmt.Sprintf(".%s_%s_%d", b.segName, hint, b.nlabels)
+}
+
+// Label places a label at the current position.
+func (b *Builder) Label(name string) { b.raw(name + ":") }
+
+// --- plain instructions ---
+
+// Li loads a 16-bit constant.
+func (b *Builder) Li(rd *Reg, v int) { b.ins("li %s, %d", rd, v) }
+
+// La loads the address of a linker symbol.
+func (b *Builder) La(rd *Reg, sym string) { b.ins("la %s, %s", rd, sym) }
+
+// LiSym loads a .equ constant by name.
+func (b *Builder) LiSym(rd *Reg, sym string) { b.ins("la %s, %s", rd, sym) }
+
+// Mov copies a register.
+func (b *Builder) Mov(rd, rs *Reg) { b.ins("mov %s, %s", rd, rs) }
+
+// Binary register ops.
+func (b *Builder) Add(rd, a, c *Reg) { b.ins("add %s, %s, %s", rd, a, c) }
+func (b *Builder) Sub(rd, a, c *Reg) { b.ins("sub %s, %s, %s", rd, a, c) }
+func (b *Builder) And(rd, a, c *Reg) { b.ins("and %s, %s, %s", rd, a, c) }
+func (b *Builder) Or(rd, a, c *Reg)  { b.ins("or %s, %s, %s", rd, a, c) }
+func (b *Builder) Xor(rd, a, c *Reg) { b.ins("xor %s, %s, %s", rd, a, c) }
+func (b *Builder) Mul(rd, a, c *Reg) { b.ins("mul %s, %s, %s", rd, a, c) }
+func (b *Builder) Slt(rd, a, c *Reg) { b.ins("slt %s, %s, %s", rd, a, c) }
+func (b *Builder) Min(rd, a, c *Reg) { b.ins("min %s, %s, %s", rd, a, c) }
+func (b *Builder) Max(rd, a, c *Reg) { b.ins("max %s, %s, %s", rd, a, c) }
+func (b *Builder) Sll(rd, a, c *Reg) { b.ins("sll %s, %s, %s", rd, a, c) }
+func (b *Builder) Sra(rd, a, c *Reg) { b.ins("sra %s, %s, %s", rd, a, c) }
+
+// Immediate ops.
+func (b *Builder) Addi(rd, a *Reg, imm int) { b.ins("addi %s, %s, %d", rd, a, imm) }
+func (b *Builder) Andi(rd, a *Reg, imm int) { b.ins("andi %s, %s, %d", rd, a, imm) }
+func (b *Builder) Ori(rd, a *Reg, imm int)  { b.ins("ori %s, %s, %d", rd, a, imm) }
+func (b *Builder) Slli(rd, a *Reg, imm int) { b.ins("slli %s, %s, %d", rd, a, imm) }
+func (b *Builder) Srli(rd, a *Reg, imm int) { b.ins("srli %s, %s, %d", rd, a, imm) }
+func (b *Builder) Srai(rd, a *Reg, imm int) { b.ins("srai %s, %s, %d", rd, a, imm) }
+func (b *Builder) Slti(rd, a *Reg, imm int) { b.ins("slti %s, %s, %d", rd, a, imm) }
+
+// Memory.
+func (b *Builder) Lw(rd, base *Reg, off int)  { b.ins("lw %s, %d(%s)", rd, off, base) }
+func (b *Builder) Sw(val, base *Reg, off int) { b.ins("sw %s, %d(%s)", val, off, base) }
+
+// Control flow.
+func (b *Builder) J(label string)              { b.ins("j %s", label) }
+func (b *Builder) Beq(a, c *Reg, label string) { b.ins("beq %s, %s, %s", a, c, label) }
+func (b *Builder) Bne(a, c *Reg, label string) { b.ins("bne %s, %s, %s", a, c, label) }
+func (b *Builder) Blt(a, c *Reg, label string) { b.ins("blt %s, %s, %s", a, c, label) }
+func (b *Builder) Bge(a, c *Reg, label string) { b.ins("bge %s, %s, %s", a, c, label) }
+func (b *Builder) Beqz(a *Reg, label string)   { b.ins("beqz %s, %s", a, label) }
+func (b *Builder) Bnez(a *Reg, label string)   { b.ins("bnez %s, %s", a, label) }
+func (b *Builder) Halt()                       { b.ins("halt") }
+func (b *Builder) Nop()                        { b.ins("nop") }
+
+// Sync ISE.
+func (b *Builder) Sinc(sym string) { b.ins("sinc #%s", sym) }
+func (b *Builder) Sdec(sym string) { b.ins("sdec #%s", sym) }
+func (b *Builder) Snop(sym string) { b.ins("snop #%s", sym) }
+func (b *Builder) Sleep()          { b.ins("sleep") }
+
+// --- composite helpers ---
+
+// AndMask emits rd = rs & mask, using ANDI when the mask fits the signed
+// 10-bit immediate and a LI+AND pair otherwise.
+func (b *Builder) AndMask(rd, rs *Reg, mask int) {
+	if mask >= -512 && mask <= 511 {
+		b.Andi(rd, rs, mask)
+		return
+	}
+	t := b.Temp()
+	b.Li(t, mask)
+	b.And(rd, rs, t)
+	b.Free(t)
+}
+
+// LoadMMIO reads a memory-mapped register into rd.
+func (b *Builder) LoadMMIO(rd *Reg, addr int) {
+	t := b.Temp()
+	b.Li(t, addr)
+	b.Lw(rd, t, 0)
+	b.Free(t)
+}
+
+// StoreMMIO writes val to a memory-mapped register.
+func (b *Builder) StoreMMIO(val *Reg, addr int) {
+	t := b.Temp()
+	b.Li(t, addr)
+	b.Sw(val, t, 0)
+	b.Free(t)
+}
+
+// StoreMMIOImm writes a constant to a memory-mapped register.
+func (b *Builder) StoreMMIOImm(v, addr int) {
+	t := b.Temp()
+	b.Li(t, v)
+	b.StoreMMIO(t, addr)
+	b.Free(t)
+}
+
+// ForN emits a counted loop: body runs n times with i ascending from 0.
+// The index register is read-only inside the body.
+func (b *Builder) ForN(n int, body func(i *Reg)) {
+	i := b.Temp()
+	limit := b.Temp()
+	b.Li(i, 0)
+	b.Li(limit, n)
+	top := b.NewLabel("for")
+	b.Label(top)
+	body(i)
+	b.Addi(i, i, 1)
+	b.Blt(i, limit, top)
+	b.Free(i, limit)
+}
+
+// While emits a loop that runs while cond (emitted each iteration) branches
+// to the continue label. cond receives the break label.
+func (b *Builder) LoopForever(body func(breakLabel string)) {
+	top := b.NewLabel("loop")
+	brk := b.NewLabel("break")
+	b.Label(top)
+	body(brk)
+	b.J(top)
+	b.Label(brk)
+}
+
+// IfLt emits: if a < c { then } else { otherwise }; otherwise may be nil.
+func (b *Builder) IfLt(a, c *Reg, then func(), otherwise func()) {
+	b.ifCond(func(thenL string) { b.Blt(a, c, thenL) }, then, otherwise)
+}
+
+// IfGe emits: if a >= c { then } else { otherwise }.
+func (b *Builder) IfGe(a, c *Reg, then func(), otherwise func()) {
+	b.ifCond(func(thenL string) { b.Bge(a, c, thenL) }, then, otherwise)
+}
+
+// IfEq emits: if a == c { then } else { otherwise }.
+func (b *Builder) IfEq(a, c *Reg, then func(), otherwise func()) {
+	b.ifCond(func(thenL string) { b.Beq(a, c, thenL) }, then, otherwise)
+}
+
+// IfNe emits: if a != c { then } else { otherwise }.
+func (b *Builder) IfNe(a, c *Reg, then func(), otherwise func()) {
+	b.ifCond(func(thenL string) { b.Bne(a, c, thenL) }, then, otherwise)
+}
+
+// IfNez emits: if a != 0 { then } else { otherwise }.
+func (b *Builder) IfNez(a *Reg, then func(), otherwise func()) {
+	b.ifCond(func(thenL string) { b.Bnez(a, thenL) }, then, otherwise)
+}
+
+// ifCond emits the branch-over-jump shape so then/else bodies of any length
+// stay within reach: the conditional branch spans one instruction, the long
+// hops use JAL's 14-bit offset.
+func (b *Builder) ifCond(branchToThen func(string), then func(), otherwise func()) {
+	thenL := b.NewLabel("then")
+	elseL := b.NewLabel("else")
+	endL := b.NewLabel("endif")
+	branchToThen(thenL)
+	b.J(elseL)
+	b.Label(thenL)
+	then()
+	if otherwise != nil {
+		b.J(endL)
+	}
+	b.Label(elseL)
+	if otherwise != nil {
+		otherwise()
+		b.Label(endL)
+	}
+}
+
+// MinBranch updates acc = min(acc, v) using a compare-and-branch, the
+// data-dependent idiom whose divergence the paper's lock-step recovery
+// addresses (the ISA's branchless MIN exists, but the benchmark kernels use
+// the branching form deliberately, as a compiler without the DSP extension
+// would emit).
+func (b *Builder) MinBranch(acc, v *Reg) {
+	skip := b.NewLabel("minskip")
+	b.Bge(v, acc, skip)
+	b.Mov(acc, v)
+	b.Label(skip)
+}
+
+// MaxBranch updates acc = max(acc, v) with a compare-and-branch.
+func (b *Builder) MaxBranch(acc, v *Reg) {
+	skip := b.NewLabel("maxskip")
+	b.Blt(v, acc, skip)
+	b.Mov(acc, v)
+	b.Label(skip)
+}
+
+// Abs computes rd = |a| (branchless: mask = a>>15; rd = (a^mask)-mask).
+func (b *Builder) Abs(rd, a *Reg) {
+	m := b.Temp()
+	b.Srai(m, a, 15)
+	b.Xor(rd, a, m)
+	b.Sub(rd, rd, m)
+	b.Free(m)
+}
+
+// SyncRegion wraps body in the paper's lock-step recovery idiom: SINC on
+// entry, SDEC and SLEEP on exit, so a group of cores executing body with
+// divergent branches realigns when the last one leaves (§III-B, Fig. 3-b).
+func (b *Builder) SyncRegion(point string, body func()) {
+	b.Sinc(point)
+	body()
+	b.Sdec(point)
+	b.Sleep()
+}
+
+// WaitIRQ emits the subscribe-once helper's wait loop: sleep until the
+// status register anded with mask is non-zero, leaving the masked status in
+// rd. ackPending clears the pending bits after wake.
+func (b *Builder) WaitIRQ(rd *Reg, statusAddr, mask, pendAddr int) {
+	top := b.NewLabel("wirq")
+	b.Label(top)
+	b.Sleep()
+	b.LoadMMIO(rd, statusAddr)
+	b.Andi(rd, rd, mask)
+	b.Beqz(rd, top)
+	b.StoreMMIOImm(mask, pendAddr)
+}

@@ -1,0 +1,193 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// assemble compiles builder output through the real assembler.
+func assemble(t *testing.T, b *Builder) []isa.Word {
+	t.Helper()
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	code, _, _, err := asm.AssembleSnippet(b.Source(), 0, 0)
+	if err != nil {
+		t.Fatalf("assembling generated code: %v\n%s", err, b.Source())
+	}
+	return code
+}
+
+func TestBasicEmission(t *testing.T) {
+	b := New("t")
+	r1 := b.Reg()
+	r2 := b.Reg()
+	b.Li(r1, 5)
+	b.Li(r2, 7)
+	b.Add(r1, r1, r2)
+	b.Halt()
+	code := assemble(t, b)
+	if len(code) != 4 {
+		t.Fatalf("got %d words", len(code))
+	}
+	if got := isa.Decode(code[2]); got.Op != isa.OpADD {
+		t.Errorf("third word = %v", got)
+	}
+}
+
+func TestRegisterPoolExhaustion(t *testing.T) {
+	b := New("t")
+	for i := 0; i < 13; i++ {
+		b.Reg()
+	}
+	b.Reg() // 14th allocation must fail
+	if b.Err() == nil || !strings.Contains(b.Err().Error(), "out of registers") {
+		t.Errorf("err = %v", b.Err())
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	b := New("t")
+	var last *Reg
+	for i := 0; i < 13; i++ {
+		last = b.Reg()
+	}
+	b.Free(last)
+	r := b.Reg()
+	if b.Err() != nil {
+		t.Fatalf("reuse after free failed: %v", b.Err())
+	}
+	if r.n != last.n {
+		t.Errorf("expected reuse of r%d, got r%d", last.n, r.n)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	b := New("t")
+	r := b.Reg()
+	b.Free(r)
+	b.Free(r)
+	if b.Err() == nil || !strings.Contains(b.Err().Error(), "double free") {
+		t.Errorf("err = %v", b.Err())
+	}
+}
+
+func TestForNLoop(t *testing.T) {
+	b := New("t")
+	sum := b.Reg()
+	b.Li(sum, 0)
+	b.ForN(5, func(i *Reg) {
+		b.Add(sum, sum, i)
+	})
+	b.Halt()
+	src := b.Source()
+	if !strings.Contains(src, "blt") {
+		t.Errorf("loop must use blt:\n%s", src)
+	}
+	assemble(t, b)
+}
+
+func TestIfHelpers(t *testing.T) {
+	b := New("t")
+	a, c := b.Reg(), b.Reg()
+	b.IfLt(a, c, func() { b.Li(a, 1) }, func() { b.Li(a, 2) })
+	b.IfEq(a, c, func() { b.Li(a, 3) }, nil)
+	b.IfNez(a, func() { b.Li(a, 4) }, nil)
+	b.Halt()
+	assemble(t, b)
+}
+
+func TestSyncRegionIdiom(t *testing.T) {
+	b := New("t")
+	b.SyncRegion("PT_X", func() { b.Nop() })
+	b.Halt()
+	src := b.Source()
+	wantOrder := []string{"sinc #PT_X", "nop", "sdec #PT_X", "sleep"}
+	pos := -1
+	for _, w := range wantOrder {
+		i := strings.Index(src, w)
+		if i < 0 || i < pos {
+			t.Fatalf("sync region idiom out of order, missing %q:\n%s", w, src)
+		}
+		pos = i
+	}
+}
+
+func TestUniqueLabels(t *testing.T) {
+	b := New("t")
+	l1 := b.NewLabel("x")
+	l2 := b.NewLabel("x")
+	if l1 == l2 {
+		t.Error("labels must be unique")
+	}
+}
+
+func TestMMIOHelpers(t *testing.T) {
+	b := New("t")
+	r := b.Reg()
+	b.LoadMMIO(r, int(isa.RegCoreID))
+	b.StoreMMIO(r, int(isa.RegDebugOut))
+	b.StoreMMIOImm(3, int(isa.RegIRQSub))
+	b.Halt()
+	assemble(t, b)
+}
+
+func TestWaitIRQShape(t *testing.T) {
+	b := New("t")
+	r := b.Reg()
+	b.WaitIRQ(r, int(isa.RegADCStatus), 1, int(isa.RegIRQPend))
+	b.Halt()
+	src := b.Source()
+	if !strings.Contains(src, "sleep") || !strings.Contains(src, "beqz") {
+		t.Errorf("wait loop malformed:\n%s", src)
+	}
+	assemble(t, b)
+}
+
+func TestMinMaxBranchAndAbs(t *testing.T) {
+	b := New("t")
+	acc, v, out := b.Reg(), b.Reg(), b.Reg()
+	b.MinBranch(acc, v)
+	b.MaxBranch(acc, v)
+	b.Abs(out, v)
+	b.Halt()
+	src := b.Source()
+	// Abs is branchless; min/max use compare-and-branch (two branches).
+	if strings.Count(src, "bge")+strings.Count(src, "blt") != 2 {
+		t.Errorf("expected exactly two compare-and-branch ops:\n%s", src)
+	}
+	assemble(t, b)
+}
+
+func TestLoopForever(t *testing.T) {
+	b := New("t")
+	n := b.Reg()
+	b.Li(n, 0)
+	b.LoopForever(func(brk string) {
+		b.Addi(n, n, 1)
+		t2 := b.Temp()
+		b.Li(t2, 10)
+		b.Bge(n, t2, brk)
+		b.Free(t2)
+	})
+	b.Halt()
+	assemble(t, b)
+}
+
+func TestZeroRegisterNeverFreed(t *testing.T) {
+	b := New("t")
+	b.Free(Zero) // must be a harmless no-op
+	if b.Err() != nil {
+		t.Errorf("freeing Zero errored: %v", b.Err())
+	}
+}
+
+func TestCommentsDoNotBreakAssembly(t *testing.T) {
+	b := New("t")
+	b.Comment("stage %d: %s", 1, "erosion")
+	b.Halt()
+	assemble(t, b)
+}

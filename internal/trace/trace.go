@@ -1,0 +1,201 @@
+// Package trace records cycle-stamped platform events — core state
+// transitions, synchronization operations, wake-ups, interrupts and ADC
+// samples — for debugging synchronization protocols and inspecting the
+// lock-step behaviour the paper's mechanism produces. Tracing is optional;
+// an unattached recorder costs the platform a nil check per event site.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Kind classifies one event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindState  Kind = iota // core changed execution state; Arg1 = new state code
+	KindSync               // core issued SINC/SDEC/SNOP; Arg1 = opcode, Arg2 = point
+	KindSleep              // core requested SLEEP; Arg1 = 1 if gated, 0 if fell through
+	KindWake               // core resumed by the synchronizer
+	KindIRQ                // interrupt raised; Arg1 = source mask
+	KindSample             // ADC published a sample set; Arg1 = sample index
+	KindHalt               // core halted
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindState:
+		return "state"
+	case KindSync:
+		return "sync"
+	case KindSleep:
+		return "sleep"
+	case KindWake:
+		return "wake"
+	case KindIRQ:
+		return "irq"
+	case KindSample:
+		return "sample"
+	case KindHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("kind?%d", uint8(k))
+}
+
+// CoreState codes for KindState events (mirrors the platform's cycle
+// classification).
+const (
+	StateIdle = iota
+	StateExec
+	StateStall
+	StateBubble
+)
+
+var stateNames = [...]string{"idle", "exec", "stall", "bubble"}
+
+// Event is one recorded occurrence. Core is -1 for platform-wide events.
+type Event struct {
+	Cycle      uint64
+	Core       int8
+	Kind       Kind
+	Arg1, Arg2 int32
+}
+
+// String renders the event for the timeline.
+func (e Event) String() string {
+	who := "platform"
+	if e.Core >= 0 {
+		who = fmt.Sprintf("core %d", e.Core)
+	}
+	switch e.Kind {
+	case KindState:
+		name := "?"
+		if int(e.Arg1) < len(stateNames) {
+			name = stateNames[e.Arg1]
+		}
+		return fmt.Sprintf("%10d  %-8s -> %s", e.Cycle, who, name)
+	case KindSync:
+		return fmt.Sprintf("%10d  %-8s %s #%d", e.Cycle, who, isa.Opcode(e.Arg1), e.Arg2)
+	case KindSleep:
+		if e.Arg1 != 0 {
+			return fmt.Sprintf("%10d  %-8s sleep (gated)", e.Cycle, who)
+		}
+		return fmt.Sprintf("%10d  %-8s sleep (token, fell through)", e.Cycle, who)
+	case KindWake:
+		return fmt.Sprintf("%10d  %-8s woken", e.Cycle, who)
+	case KindIRQ:
+		return fmt.Sprintf("%10d  %-8s irq mask %#x", e.Cycle, who, e.Arg1)
+	case KindSample:
+		return fmt.Sprintf("%10d  %-8s adc sample %d", e.Cycle, who, e.Arg1)
+	case KindHalt:
+		return fmt.Sprintf("%10d  %-8s halted", e.Cycle, who)
+	}
+	return fmt.Sprintf("%10d  %-8s %v", e.Cycle, who, e.Kind)
+}
+
+// Recorder accumulates events up to a capacity, then keeps the most recent
+// ones (ring semantics), which is what post-mortem debugging wants.
+type Recorder struct {
+	events  []Event
+	start   int // ring start when full
+	cap     int
+	dropped uint64
+	mask    uint16 // enabled kinds bitmask
+}
+
+// NewRecorder returns a recorder holding up to capacity events (0 = 64k).
+// All kinds start enabled.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Recorder{cap: capacity, mask: 1<<uint(numKinds) - 1}
+}
+
+// Only restricts recording to the given kinds.
+func (r *Recorder) Only(kinds ...Kind) *Recorder {
+	r.mask = 0
+	for _, k := range kinds {
+		r.mask |= 1 << uint(k)
+	}
+	return r
+}
+
+// Enabled reports whether a kind is recorded.
+func (r *Recorder) Enabled(k Kind) bool { return r.mask&(1<<uint(k)) != 0 }
+
+// Record appends one event, evicting the oldest beyond capacity.
+func (r *Recorder) Record(cycle uint64, coreID int, kind Kind, arg1, arg2 int32) {
+	if !r.Enabled(kind) {
+		return
+	}
+	e := Event{Cycle: cycle, Core: int8(coreID), Kind: kind, Arg1: arg1, Arg2: arg2}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.start] = e
+	r.start++
+	if r.start == r.cap {
+		r.start = 0
+	}
+	r.dropped++
+}
+
+// Events returns the recorded events in chronological order.
+func (r *Recorder) Events() []Event {
+	if len(r.events) < r.cap || r.start == 0 {
+		out := make([]Event, len(r.events))
+		copy(out, r.events)
+		return out
+	}
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Dropped returns how many events were evicted.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// WriteTimeline prints the retained events, most recent last.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d earlier events dropped ...\n", r.dropped); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates the retained events per kind and core.
+func (r *Recorder) Summary() string {
+	perKind := map[Kind]int{}
+	perCore := map[int8]int{}
+	for _, e := range r.Events() {
+		perKind[e.Kind]++
+		perCore[e.Core]++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d events retained (%d dropped)\n", r.Len(), r.dropped)
+	for k := Kind(0); k < numKinds; k++ {
+		if n := perKind[k]; n > 0 {
+			fmt.Fprintf(&sb, "  %-7s %d\n", k, n)
+		}
+	}
+	return sb.String()
+}

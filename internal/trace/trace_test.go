@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestRecordAndReplay(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(10, 0, KindSync, int32(isa.OpSINC), 3)
+	r.Record(11, 1, KindSleep, 1, 0)
+	r.Record(20, -1, KindIRQ, 7, 0)
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Cycle != 10 || evs[0].Kind != KindSync || evs[0].Arg2 != 3 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if !strings.Contains(evs[0].String(), "sinc #3") {
+		t.Errorf("sync rendering: %q", evs[0].String())
+	}
+	if !strings.Contains(evs[1].String(), "gated") {
+		t.Errorf("sleep rendering: %q", evs[1].String())
+	}
+	if !strings.Contains(evs[2].String(), "platform") {
+		t.Errorf("platform-wide rendering: %q", evs[2].String())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(uint64(i), 0, KindWake, 0, 0)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Cycle != uint64(6+i) {
+			t.Errorf("event %d at cycle %d, want %d (most recent kept, in order)", i, e.Cycle, 6+i)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestOnlyFilter(t *testing.T) {
+	r := NewRecorder(16).Only(KindSync)
+	r.Record(1, 0, KindSync, int32(isa.OpSDEC), 0)
+	r.Record(2, 0, KindWake, 0, 0)
+	r.Record(3, 0, KindSleep, 1, 0)
+	if r.Len() != 1 {
+		t.Errorf("filter retained %d events, want 1", r.Len())
+	}
+	if !r.Enabled(KindSync) || r.Enabled(KindWake) {
+		t.Error("Enabled mask wrong")
+	}
+}
+
+func TestTimelineAndSummary(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(5, 2, KindState, StateExec, 0)
+	r.Record(9, 2, KindState, StateIdle, 0)
+	r.Record(12, 2, KindHalt, 0, 0)
+	var sb strings.Builder
+	if err := r.WriteTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"exec", "idle", "halted", "core 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "3 events retained") || !strings.Contains(sum, "state") {
+		t.Errorf("summary: %q", sum)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.Contains(s, "?") {
+			t.Errorf("kind %d renders as %q", k, s)
+		}
+	}
+}
