@@ -248,6 +248,46 @@ func BenchmarkAblationBroadcast(b *testing.B) {
 	}
 }
 
+// BenchmarkIdleFastForward pits the exact cycle-by-cycle engine against the
+// idle fast-forward engine on an idle-dominated run (multi-core RP-CLASS at
+// a generous probe-class 16 MHz clock: the 250 Hz workload leaves ~97% of
+// cycles fully gated, the regime exp's operating-point probes run in),
+// tracking the speedup the event-driven leap delivers in the perf
+// trajectory. Both modes produce bit-identical results (see
+// internal/platform's golden-equivalence tests); only wall-clock differs.
+func BenchmarkIdleFastForward(b *testing.B) {
+	opts := benchOpts()
+	sig := benchSignal(b, apps.RPClass, opts)
+	v, err := apps.Build(apps.RPClass, power.MC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, exact bool) float64 {
+		b.Helper()
+		total := uint64(0)
+		for i := 0; i < b.N; i++ {
+			p, err := v.NewPlatform(sig, 16e6, 1.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.SetExact(exact)
+			if err := p.RunSeconds(1); err != nil {
+				b.Fatal(err)
+			}
+			total += p.Cycle()
+		}
+		rate := float64(total) / b.Elapsed().Seconds()
+		b.ReportMetric(rate, "cycles/s")
+		return rate
+	}
+	var exactRate, fastRate float64
+	b.Run("exact", func(b *testing.B) { exactRate = run(b, true) })
+	b.Run("fast-forward", func(b *testing.B) { fastRate = run(b, false) })
+	if exactRate > 0 && fastRate > 0 {
+		b.Logf("fast-forward speedup: %.1fx", fastRate/exactRate)
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed: platform
 // cycles per wall second for the 8-core-class configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {

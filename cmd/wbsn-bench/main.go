@@ -17,9 +17,10 @@ func main() {
 	probe := flag.Float64("probe", 2.5, "simulated seconds per operating-point probe")
 	patho := flag.Float64("pathological", 0.2, "RP-CLASS pathological-beat share for table1/fig6")
 	seed := flag.Int64("seed", 1, "synthetic ECG seed")
+	exact := flag.Bool("exact", false, "disable idle fast-forward; simulate every cycle (bit-identical results, slower)")
 	flag.Parse()
 
-	opts := exp.Options{Duration: *duration, ProbeDuration: *probe, PathoFrac: *patho, Seed: *seed}
+	opts := exp.Options{Duration: *duration, ProbeDuration: *probe, PathoFrac: *patho, Seed: *seed, Exact: *exact}
 	params := power.DefaultParams()
 
 	run := func(name string, f func() error) {

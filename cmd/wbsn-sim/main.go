@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic ECG seed")
 	dumpMapping := flag.Bool("dump-mapping", false, "print code/data placement and exit")
 	traceN := flag.Int("trace", 0, "record platform events and print the last N")
+	exact := flag.Bool("exact", false, "disable idle fast-forward; simulate every cycle (bit-identical results, slower)")
 	flag.Parse()
 
 	arch := map[string]power.Arch{"sc": power.SC, "mc": power.MC, "mc-nosync": power.MCNoSync}[*archName]
@@ -66,6 +67,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	p.SetExact(*exact)
 	var rec *trace.Recorder
 	if *traceN > 0 {
 		rec = trace.NewRecorder(*traceN)
@@ -81,6 +83,10 @@ func main() {
 		c.IMBroadcastPct(), c.DMBroadcastPct(), c.RuntimeOverheadPct())
 	fmt.Printf("  code overhead %.2f%%, active IM banks %d, active DM banks %d\n",
 		v.Res.Image.CodeOverheadPct(), p.ActiveIMBanks(), p.ActiveDMBanks())
+	if !*exact && c.Cycles > 0 {
+		fmt.Printf("  fast-forward: %d leaps skipped %d of %d cycles (%.2f%%)\n",
+			p.FFLeaps(), p.FFSkippedCycles(), c.Cycles, 100*float64(p.FFSkippedCycles())/float64(c.Cycles))
+	}
 	rep, err := p.PowerReport(power.DefaultParams())
 	if err != nil {
 		fatal(err)

@@ -196,6 +196,51 @@ func (s *Synchronizer) wake(c int) {
 	}
 }
 
+// Quiescent reports whether no core can fetch at the given cycle: every
+// core is halted, gated, or running but still inside its wake latency. A
+// quiescent platform performs no work, so absent an external event (an ADC
+// interrupt) its only future activity is the expiry of pending wake
+// latencies — which NextWake exposes. This is the query the platform's idle
+// fast-forward engine leaps on.
+func (s *Synchronizer) Quiescent(cycle uint64) bool {
+	for c := 0; c < s.nc; c++ {
+		if s.state[c] == StateRunning && cycle >= s.wakeAt[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// NextWake returns the earliest cycle strictly after the given cycle at
+// which some core becomes runnable absent new synchronization or interrupt
+// events, and ok=false when no such internally scheduled wake exists (every
+// core is gated or halted, so only an external interrupt can resume
+// execution).
+func (s *Synchronizer) NextWake(cycle uint64) (at uint64, ok bool) {
+	for c := 0; c < s.nc; c++ {
+		if s.state[c] != StateRunning || s.wakeAt[c] <= cycle {
+			continue
+		}
+		if !ok || s.wakeAt[c] < at {
+			at, ok = s.wakeAt[c], true
+		}
+	}
+	return at, ok
+}
+
+// FastForward advances the synchronizer's notion of the current cycle
+// without committing anything, as a bulk replacement for the once-per-cycle
+// Commit calls skipped while the platform leaps over a quiescent stretch.
+// It keeps wake latencies (wake() stamps s.cycle+WakeLatency) and violation
+// messages identical to a cycle-by-cycle run. Only valid when no operations
+// are pending, which is guaranteed after any completed platform cycle.
+func (s *Synchronizer) FastForward(cycle uint64) {
+	if len(s.pending) > 0 {
+		panic("core: FastForward with pending synchronization operations")
+	}
+	s.cycle = cycle
+}
+
 // SetSubscription sets core c's interrupt-source mask (MMIO RegIRQSub).
 func (s *Synchronizer) SetSubscription(c int, mask uint16) { s.irqSub[c] = mask }
 

@@ -26,6 +26,12 @@ type Options struct {
 	PathoFrac float64
 	// Seed selects the synthetic record.
 	Seed int64
+	// Exact disables the simulator's idle fast-forward engine, forcing
+	// cycle-by-cycle simulation. Results are bit-identical either way
+	// (enforced by the platform's golden-equivalence tests); exact mode
+	// exists as a cross-check and costs roughly the idle fraction of the
+	// run in extra wall-clock time.
+	Exact bool
 }
 
 // DefaultOptions returns a configuration balancing fidelity and runtime
@@ -107,6 +113,7 @@ func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Opti
 	if err != nil {
 		return OperatingPoint{}, err
 	}
+	p.SetExact(opts.Exact)
 	if err := p.RunSeconds(opts.ProbeDuration); err != nil {
 		return OperatingPoint{}, fmt.Errorf("exp: %s/%v probe: %w", app, arch, err)
 	}
@@ -145,6 +152,7 @@ func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Opti
 		if err != nil {
 			return OperatingPoint{}, err
 		}
+		pp.SetExact(opts.Exact)
 		if err := pp.RunSeconds(opts.ProbeDuration); err != nil {
 			return OperatingPoint{}, err
 		}
@@ -208,6 +216,7 @@ func Measure(app string, arch power.Arch, op OperatingPoint, sig *ecg.Signal, op
 	if err != nil {
 		return nil, err
 	}
+	p.SetExact(opts.Exact)
 	if err := p.RunSeconds(opts.Duration); err != nil {
 		return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
 	}

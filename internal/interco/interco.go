@@ -50,6 +50,13 @@ func NewCrossbar(nbanks int) *Crossbar {
 // Advance rotates the arbitration priority; call once per platform cycle.
 func (x *Crossbar) Advance() { x.rr++ }
 
+// AdvanceN rotates the arbitration priority by n cycles at once, for the
+// platform's idle fast-forward: leaping over n quiescent cycles must leave
+// the rotating priority exactly where a cycle-by-cycle run would. Only
+// rr mod 64 is observable (see prio), so n is reduced first to keep the
+// counter far from overflow.
+func (x *Crossbar) AdvanceN(n uint64) { x.rr = (x.rr + int(n%64)) & 63 }
+
 // Arbitrate resolves the cycle's requests in place and returns the summary.
 //
 // Per bank: the pending request whose core has the highest rotating priority

@@ -8,6 +8,7 @@ package periph
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/isa"
 	"repro/internal/power"
@@ -92,6 +93,14 @@ func (a *ADC) sample() {
 	if irq != 0 && a.raise != nil {
 		a.raise(irq)
 	}
+}
+
+// NextEventCycle returns the cycle number at which Tick will next publish a
+// sample: the smallest integer cycle satisfying Tick's float64(cycle) >=
+// nextAt condition. Ticks on earlier cycles are no-ops, which is what lets
+// the platform's fast-forward engine leap over them.
+func (a *ADC) NextEventCycle() uint64 {
+	return uint64(math.Ceil(a.nextAt))
 }
 
 // ReadData returns the latest sample of channel ch and clears its ready bit

@@ -168,3 +168,34 @@ func TestReadDataOutOfRange(t *testing.T) {
 		t.Error("out-of-range channels must read 0")
 	}
 }
+
+// TestNextEventCycle pins the fast-forward contract: Tick is a no-op on
+// every cycle before NextEventCycle and publishes exactly at it, including
+// with fractional sample periods.
+func TestNextEventCycle(t *testing.T) {
+	for _, tc := range []struct{ rate, clock float64 }{
+		{250, 1e6},   // integral period (4000 cycles)
+		{250, 1.7e6}, // fractional period (6800 cycles)
+		{300, 1e6},   // repeating fraction (3333.33... cycles)
+	} {
+		ctr := &power.Counters{}
+		a, err := NewADC(threeTraces(10), tc.rate, tc.clock, nil, ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			next := a.NextEventCycle()
+			before := ctr.ADCSamples
+			if next > 0 {
+				a.Tick(next - 1)
+			}
+			if ctr.ADCSamples != before {
+				t.Fatalf("rate %v/clock %v: Tick(%d) published early", tc.rate, tc.clock, next-1)
+			}
+			a.Tick(next)
+			if ctr.ADCSamples != before+1 {
+				t.Fatalf("rate %v/clock %v: Tick(%d) did not publish", tc.rate, tc.clock, next)
+			}
+		}
+	}
+}

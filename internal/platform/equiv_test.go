@@ -1,0 +1,119 @@
+package platform_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ecg"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// goldenDuration is the simulated time of each equivalence run, seconds.
+const goldenDuration = 0.3
+
+// goldenClockHz keeps the runs idle-dominated (sample period 8000 cycles)
+// while staying cheap enough for the test suite.
+const goldenClockHz = 2e6
+
+func runGolden(t *testing.T, app string, arch power.Arch, exact bool) (*apps.Variant, *platform.Platform) {
+	t.Helper()
+	v, err := apps.Build(app, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ecg.DefaultConfig()
+	cfg.Seed = 1
+	if app == apps.RPClass {
+		cfg.PathologicalFrac = 0.2
+	}
+	sig, err := ecg.Synthesize(cfg, goldenDuration+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := v.NewPlatform(sig, goldenClockHz, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetExact(exact)
+	p.SetTracer(trace.NewRecorder(1 << 16))
+	if err := p.RunSeconds(goldenDuration); err != nil {
+		t.Fatal(err)
+	}
+	return v, p
+}
+
+// TestGoldenEquivalence asserts that the idle fast-forward engine is
+// semantically invisible on every benchmark application and architecture:
+// counters (hence Table I / Figures 6-7 inputs), per-core state, debug and
+// error streams, and the full event trace are bit-identical to the exact
+// cycle-by-cycle simulation.
+func TestGoldenEquivalence(t *testing.T) {
+	archs := []power.Arch{power.SC, power.MC}
+	for _, app := range apps.Names {
+		for _, arch := range archs {
+			app, arch := app, arch
+			t.Run(fmt.Sprintf("%s/%v", app, arch), func(t *testing.T) {
+				v, exact := runGolden(t, app, arch, true)
+				_, fast := runGolden(t, app, arch, false)
+
+				if *exact.Counters() != *fast.Counters() {
+					t.Errorf("counters diverge:\nexact: %+v\nfast:  %+v", *exact.Counters(), *fast.Counters())
+				}
+				if e, f := exact.Cycle(), fast.Cycle(); e != f {
+					t.Errorf("cycle diverges: exact %d, fast %d", e, f)
+				}
+				for c := 0; c < v.Cores; c++ {
+					if e, f := exact.CoreBusy(c), fast.CoreBusy(c); e != f {
+						t.Errorf("core %d busy diverges: exact %d, fast %d", c, e, f)
+					}
+					if e, f := exact.CoreRegs(c), fast.CoreRegs(c); e != f {
+						t.Errorf("core %d registers diverge", c)
+					}
+					if e, f := exact.CoreState(c), fast.CoreState(c); e != f {
+						t.Errorf("core %d state diverges: exact %v, fast %v", c, e, f)
+					}
+				}
+				if e, f := exact.MaxSampleBusy(), fast.MaxSampleBusy(); e != f {
+					t.Errorf("max sample busy diverges: exact %d, fast %d", e, f)
+				}
+				if e, f := exact.Overruns(), fast.Overruns(); e != f {
+					t.Errorf("overruns diverge: exact %d, fast %d", e, f)
+				}
+				if !reflect.DeepEqual(exact.Debug(), fast.Debug()) {
+					t.Errorf("debug streams diverge: exact %d entries, fast %d",
+						len(exact.Debug()), len(fast.Debug()))
+				}
+				if !reflect.DeepEqual(exact.ErrCodes(), fast.ErrCodes()) {
+					t.Errorf("error streams diverge: exact %d entries, fast %d",
+						len(exact.ErrCodes()), len(fast.ErrCodes()))
+				}
+				ev, fv := exact.Tracer().Events(), fast.Tracer().Events()
+				if len(ev) != len(fv) {
+					t.Errorf("trace lengths diverge: exact %d events, fast %d", len(ev), len(fv))
+				}
+				for i := 0; i < len(ev) && i < len(fv); i++ {
+					if ev[i] != fv[i] {
+						t.Errorf("trace diverges at event %d:\nexact: %s\nfast:  %s",
+							i, ev[i].String(), fv[i].String())
+						break
+					}
+				}
+
+				if exact.FFSkippedCycles() != 0 {
+					t.Errorf("exact mode skipped %d cycles, want 0", exact.FFSkippedCycles())
+				}
+				if fast.FFSkippedCycles() == 0 {
+					t.Error("fast-forward never engaged")
+				}
+				if arch == power.MC && fast.FFSkippedCycles() < fast.Cycle()/2 {
+					t.Errorf("MC run skipped only %d of %d cycles; want idle domination",
+						fast.FFSkippedCycles(), fast.Cycle())
+				}
+			})
+		}
+	}
+}

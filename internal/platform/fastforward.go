@@ -1,0 +1,113 @@
+// Idle fast-forward engine.
+//
+// The paper's workloads are idle-dominated: ECG arrives at a few hundred
+// hertz while the platform clocks at megahertz, so on well over 99 % of
+// simulated cycles every core is clock-gated waiting for the next sample.
+// The cycle-accurate Step still costs a full Go iteration for each of those
+// cycles. This engine detects quiescent stretches and leaps over them in
+// O(1): when the previous stepped cycle did no work and no core can fetch,
+// the platform can only change state at the next internally scheduled wake
+// (a pending wake latency) or the next ADC sampling instant, so every cycle
+// before that event is accounted in bulk and never simulated.
+//
+// The leap is semantically invisible by construction — each skipped cycle
+// would have executed nothing, posted nothing, and recorded nothing:
+//
+//   - counters: Cycles plus CoreGated/CoreHalted per core are the only
+//     counters an idle cycle touches (power.Counters.AddIdleCycles);
+//   - crossbars: the rotating arbitration priority advances once per cycle
+//     even when idle (Crossbar.AdvanceN keeps it in phase);
+//   - synchronizer: Commit updates its cycle stamp every cycle, which wake
+//     latencies are computed from (Synchronizer.FastForward);
+//   - traces and debug output: transitions only fire at stepped cycles, and
+//     a leap is gated on the previous cycle already being idle, so the
+//     classification is constant across the skipped range;
+//   - ADC: the leap never crosses NextEventCycle, where Tick is a no-op.
+//
+// The golden-equivalence suite (equiv_test.go) enforces bit-identical
+// counters, traces, debug streams and architectural state between this path
+// and the exact one across all three benchmark applications.
+package platform
+
+import "repro/internal/core"
+
+// Run simulates up to n further cycles, stopping early when every core has
+// halted or a fault occurs. Unless the platform is in exact mode, quiescent
+// stretches are leapt over in bulk; the observable behaviour is identical
+// either way.
+func (p *Platform) Run(n uint64) error {
+	limit := p.cycle + n
+	for p.cycle < limit {
+		if !p.exact && p.lastCycleIdle {
+			p.fastForward(limit)
+			if p.cycle >= limit {
+				return nil
+			}
+		}
+		if err := p.Step(); err != nil {
+			return err
+		}
+		if p.AllHalted() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunSeconds simulates the given wall-clock duration at the configured
+// platform frequency.
+func (p *Platform) RunSeconds(s float64) error {
+	return p.Run(uint64(s * p.cfg.ClockHz))
+}
+
+// fastForward leaps from the current cycle to just before the next cycle at
+// which anything can happen, clamped to limit (the exclusive step budget),
+// accounting the skipped cycles in bulk. Callers must have observed a fully
+// idle stepped cycle (p.lastCycleIdle), which guarantees the skipped range
+// is classification-stable and therefore trace-silent.
+func (p *Platform) fastForward(limit uint64) {
+	// Run's exact semantics stop one step after full halt; never leap past
+	// that point.
+	if p.AllHalted() {
+		return
+	}
+	// A core that can fetch on the very next cycle ends the quiescent
+	// stretch immediately.
+	if !p.sync.Quiescent(p.cycle + 1) {
+		return
+	}
+	// The platform's only spontaneous events are wake-latency expiries and
+	// ADC sampling instants; everything else is caused by executing cores.
+	target := limit
+	if w, ok := p.sync.NextWake(p.cycle); ok && w-1 < target {
+		target = w - 1
+	}
+	if p.adc != nil {
+		if s := p.adc.NextEventCycle(); s-1 < target {
+			target = s - 1
+		}
+	}
+	if target <= p.cycle {
+		return
+	}
+	p.leap(target - p.cycle)
+}
+
+// leap bulk-accounts k quiescent cycles exactly as k idle Steps would.
+func (p *Platform) leap(k uint64) {
+	var gated, halted uint64
+	for c := 0; c < p.ncore; c++ {
+		if p.sync.State(c) == core.StateHalted {
+			halted++
+		} else {
+			gated++
+		}
+	}
+	p.ctr.AddIdleCycles(k, gated, halted)
+	p.cycle += k
+	p.sync.FastForward(p.cycle)
+	p.imx.AdvanceN(k)
+	p.dmx.AdvanceN(k)
+	p.ffLeaps++
+	p.ffSkipped += k
+}

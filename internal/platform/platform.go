@@ -74,6 +74,13 @@ type Config struct {
 
 	// MaxDebug caps the debug/error traces (0 means a generous default).
 	MaxDebug int
+
+	// Exact disables the idle fast-forward engine, forcing the cycle-by-
+	// cycle path for every simulated cycle. Both modes produce bit-identical
+	// counters, traces and debug output (enforced by the golden-equivalence
+	// tests); Exact exists as an escape hatch and as the reference for those
+	// tests.
+	Exact bool
 }
 
 // Platform is one instantiated system ready to run.
@@ -94,6 +101,12 @@ type Platform struct {
 	ctr   power.Counters
 	cycle uint64
 
+	// Idle fast-forward engine state (see fastforward.go).
+	exact         bool
+	lastCycleIdle bool   // previous stepped cycle had every core idle/halted
+	ffLeaps       uint64 // bulk leaps taken
+	ffSkipped     uint64 // cycles accounted in bulk instead of stepped
+
 	perCoreBusy []uint64 // executed+stalled+bubble cycles per core
 
 	// Worst-case busy cycles of any single core within one ADC sample
@@ -109,6 +122,7 @@ type Platform struct {
 	dmWho   []int
 	status  []coreStatus
 	loadVal []uint16
+	memOps  []cpu.MemOp // per-core data request decoded in phase 3
 
 	debug    []DebugEntry
 	errCodes []DebugEntry
@@ -182,6 +196,8 @@ func New(cfg Config, img *Image) (*Platform, error) {
 		dmWho:       make([]int, 0, n),
 		status:      make([]coreStatus, n),
 		loadVal:     make([]uint16, n),
+		memOps:      make([]cpu.MemOp, n),
+		exact:       cfg.Exact,
 	}
 	p.sync = core.NewSynchronizer(n, img.NumSyncPoints, &p.ctr)
 
@@ -289,6 +305,21 @@ func New(cfg Config, img *Image) (*Platform, error) {
 
 // Counters exposes the accumulated activity counters.
 func (p *Platform) Counters() *power.Counters { return &p.ctr }
+
+// SetExact forces (true) or re-enables skipping via (false) the idle
+// fast-forward engine for subsequent Run calls. Mode switches are safe at
+// any cycle boundary: both paths maintain identical architectural state.
+func (p *Platform) SetExact(exact bool) { p.exact = exact }
+
+// Exact reports whether the idle fast-forward engine is disabled.
+func (p *Platform) Exact() bool { return p.exact }
+
+// FFLeaps returns how many bulk idle leaps the fast-forward engine took.
+func (p *Platform) FFLeaps() uint64 { return p.ffLeaps }
+
+// FFSkippedCycles returns how many cycles were accounted in bulk by the
+// fast-forward engine instead of being individually stepped.
+func (p *Platform) FFSkippedCycles() uint64 { return p.ffSkipped }
 
 // Cycle returns the current cycle number.
 func (p *Platform) Cycle() uint64 { return p.cycle }

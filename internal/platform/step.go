@@ -84,6 +84,7 @@ func (p *Platform) Step() error {
 		}
 		cr := p.cores[c]
 		mop := cr.MemRequest(cr.IR)
+		p.memOps[c] = mop
 		if !mop.Valid {
 			continue
 		}
@@ -118,12 +119,11 @@ func (p *Platform) Step() error {
 				p.status[c] = stDMStall
 				continue
 			}
-			cr := p.cores[c]
 			if r.Write {
 				if !r.Merged {
 					p.ctr.DMWrites++
 				}
-				if !p.dmem.Write(r.Bank, r.Offset, cr.MemRequest(cr.IR).Data) {
+				if !p.dmem.Write(r.Bank, r.Offset, p.memOps[c].Data) {
 					p.fault = fmt.Errorf("platform: cycle %d: core %d write to powered-off bank %d", cyc, c, r.Bank)
 					return p.fault
 				}
@@ -168,20 +168,26 @@ func (p *Platform) Step() error {
 	// Phase 6: commit merged synchronization operations and wakes.
 	p.sync.Commit(cyc)
 
-	// Phase 7: cycle accounting.
+	// Phase 7: cycle accounting. idle tracks whether this cycle performed
+	// any work at all; a fully idle cycle arms the fast-forward engine
+	// (fastforward.go), which may leap over the identical cycles to come.
+	idle := true
 	for c := 0; c < p.ncore; c++ {
 		switch p.status[c] {
 		case stExec:
+			idle = false
 			p.ctr.CoreActive++
 			p.ctr.UngatedCoreCycles++
 			p.perCoreBusy[c]++
 			p.windowBusy[c]++
 		case stIMStall, stDMStall:
+			idle = false
 			p.ctr.CoreStall++
 			p.ctr.UngatedCoreCycles++
 			p.perCoreBusy[c]++
 			p.windowBusy[c]++
 		case stBubble:
+			idle = false
 			p.ctr.CoreStall++
 			p.ctr.UngatedCoreCycles++
 			p.perCoreBusy[c]++
@@ -238,27 +244,8 @@ func (p *Platform) Step() error {
 	p.ctr.Cycles++
 	p.imx.Advance()
 	p.dmx.Advance()
+	p.lastCycleIdle = idle
 	return nil
-}
-
-// Run simulates up to n further cycles, stopping early when every core has
-// halted or a fault occurs.
-func (p *Platform) Run(n uint64) error {
-	for i := uint64(0); i < n; i++ {
-		if err := p.Step(); err != nil {
-			return err
-		}
-		if p.AllHalted() {
-			return nil
-		}
-	}
-	return nil
-}
-
-// RunSeconds simulates the given wall-clock duration at the configured
-// platform frequency.
-func (p *Platform) RunSeconds(s float64) error {
-	return p.Run(uint64(s * p.cfg.ClockHz))
 }
 
 // PostSync implements cpu.Env.

@@ -63,6 +63,18 @@ type Counters struct {
 	ADCSamples uint64
 }
 
+// AddIdleCycles accounts n platform cycles during which gated cores stayed
+// clock-gated, halted cores stayed power-gated, and nothing else happened —
+// the bulk path used by the simulator's idle fast-forward engine. It must
+// mutate exactly the counters a cycle-by-cycle idle run would (Cycles, plus
+// CoreGated/CoreHalted per core), so energy numbers stay bit-identical
+// between the exact and fast-forward simulation modes.
+func (c *Counters) AddIdleCycles(n, gatedCores, haltedCores uint64) {
+	c.Cycles += n
+	c.CoreGated += n * gatedCores
+	c.CoreHalted += n * haltedCores
+}
+
 // IMBroadcastPct returns the share of fetch requests satisfied by a merged
 // (broadcast) access instead of a dedicated bank read, in percent. This is
 // Table I's "IM Broadcast (%)".
