@@ -11,6 +11,9 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/apps"
@@ -25,11 +28,7 @@ func benchOpts() exp.Options {
 
 func benchSignal(b *testing.B, app string, opts exp.Options) *ecg.Signal {
 	b.Helper()
-	cfg := ecg.DefaultConfig()
-	cfg.Seed = opts.Seed
-	if app == apps.RPClass {
-		cfg.PathologicalFrac = opts.PathoFrac
-	}
+	cfg := apps.SignalConfig(app, opts.Seed, opts.PathoFrac)
 	sig, err := ecg.Synthesize(cfg, opts.Duration+2)
 	if err != nil {
 		b.Fatal(err)
@@ -134,9 +133,7 @@ func BenchmarkFigure7(b *testing.B) {
 		for _, share := range []float64{0, 0.20, 1.00} {
 			opts := benchOpts()
 			opts.PathoFrac = share
-			cfg := ecg.DefaultConfig()
-			cfg.Seed = opts.Seed
-			cfg.PathologicalFrac = share
+			cfg := apps.SignalConfig(apps.RPClass, opts.Seed, share)
 			sig, err := ecg.Synthesize(cfg, opts.Duration+2)
 			if err != nil {
 				b.Fatal(err)
@@ -245,6 +242,35 @@ func BenchmarkAblationBroadcast(b *testing.B) {
 			params.DynScale(mcOp.VoltageV) / mc.Report.DurationS * 1e-6
 		b.ReportMetric(saved, "IM-saved-uW")
 		b.ReportMetric(mc.Counters.IMBroadcastPct(), "IM-bcast-%")
+	}
+}
+
+// BenchmarkSweepParallel measures the full Table I grid through the sweep
+// engine at one worker versus all cores: the wall-clock ratio is the
+// parallel speedup (the grid's six points are independent, so it should
+// approach min(cores, 6) on idle machines). Each iteration builds a fresh
+// engine so the signal cache is cold, matching a real CLI invocation;
+// results are byte-identical across worker counts (see
+// internal/exp/sweep_test.go).
+func BenchmarkSweepParallel(b *testing.B) {
+	opts := benchOpts()
+	jobsList := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		jobsList = append(jobsList, n)
+	}
+	for _, jobs := range jobsList {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := exp.NewSweep(jobs, power.DefaultParams())
+				rows, err := s.TableI(context.Background(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(apps.Names) {
+					b.Fatalf("got %d rows", len(rows))
+				}
+			}
+		})
 	}
 }
 

@@ -3,9 +3,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/exp"
 	"repro/internal/power"
@@ -18,10 +20,21 @@ func main() {
 	patho := flag.Float64("pathological", 0.2, "RP-CLASS pathological-beat share for table1/fig6")
 	seed := flag.Int64("seed", 1, "synthetic ECG seed")
 	exact := flag.Bool("exact", false, "disable idle fast-forward; simulate every cycle (bit-identical results, slower)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel sweep workers (results are identical for any value; 1 = serial)")
+	quiet := flag.Bool("quiet", false, "suppress per-point progress on stderr")
 	flag.Parse()
 
 	opts := exp.Options{Duration: *duration, ProbeDuration: *probe, PathoFrac: *patho, Seed: *seed, Exact: *exact}
 	params := power.DefaultParams()
+	ctx := context.Background()
+
+	// One engine across all experiments: the memoized signal cache is
+	// shared, so records reused between Table I, Figure 6 and Figure 7
+	// are synthesized once.
+	sweep := exp.NewSweep(*jobs, params)
+	if !*quiet {
+		sweep.Progress = exp.ProgressPrinter(os.Stderr)
+	}
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -33,7 +46,7 @@ func main() {
 		}
 	}
 	run("table1", func() error {
-		rows, err := exp.TableI(opts, params)
+		rows, err := sweep.TableI(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -43,7 +56,7 @@ func main() {
 		return nil
 	})
 	run("fig6", func() error {
-		bars, err := exp.Figure6(opts, params)
+		bars, err := sweep.Figure6(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -53,7 +66,7 @@ func main() {
 		return nil
 	})
 	run("fig7", func() error {
-		pts, err := exp.Figure7(opts, params)
+		pts, err := sweep.Figure7(ctx, opts)
 		if err != nil {
 			return err
 		}

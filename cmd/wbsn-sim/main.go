@@ -1,16 +1,22 @@
 // Command wbsn-sim runs one benchmark application on one architecture
 // variant and prints the execution metrics, optionally dumping the mapping
-// (code placement and data layout, paper Fig. 4).
+// (code placement and data layout, paper Fig. 4). With -sweep it instead
+// compares the application across all three architectures at their solved
+// operating points, fanning the per-architecture solves out across the
+// parallel sweep engine.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/ecg"
+	"repro/internal/exp"
 	"repro/internal/power"
 	"repro/internal/trace"
 )
@@ -26,7 +32,21 @@ func main() {
 	dumpMapping := flag.Bool("dump-mapping", false, "print code/data placement and exit")
 	traceN := flag.Int("trace", 0, "record platform events and print the last N")
 	exact := flag.Bool("exact", false, "disable idle fast-forward; simulate every cycle (bit-identical results, slower)")
+	sweepArchs := flag.Bool("sweep", false, "solve and measure the app on sc, mc-nosync and mc (ignores -arch/-clock-mhz/-voltage; incompatible with -trace/-dump-mapping)")
+	probe := flag.Float64("probe", 2.5, "simulated seconds per operating-point probe (-sweep)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel sweep workers (-sweep; results are identical for any value)")
 	flag.Parse()
+
+	if *sweepArchs {
+		if *dumpMapping || *traceN > 0 {
+			fatal(fmt.Errorf("-sweep compares solved operating points and is incompatible with -dump-mapping and -trace; run those against one -arch"))
+		}
+		runSweep(*app, exp.Options{
+			Duration: *duration, ProbeDuration: *probe,
+			PathoFrac: *patho, Seed: *seed, Exact: *exact,
+		}, *jobs)
+		return
+	}
 
 	arch := map[string]power.Arch{"sc": power.SC, "mc": power.MC, "mc-nosync": power.MCNoSync}[*archName]
 	v, err := apps.Build(*app, arch)
@@ -106,6 +126,31 @@ func main() {
 		if err := rec.WriteTimeline(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runSweep solves and measures one application on every architecture variant
+// (exp.Fig6Archs: SC first, so the "vs SC" column normalizes against ms[0])
+// through the parallel sweep engine and prints the comparison.
+func runSweep(app string, opts exp.Options, jobs int) {
+	s := exp.NewSweep(jobs, power.DefaultParams())
+	s.Progress = exp.ProgressPrinter(os.Stderr)
+	points := make([]exp.Point, 0, len(exp.Fig6Archs))
+	for _, arch := range exp.Fig6Archs {
+		points = append(points, exp.Point{App: app, Arch: arch, Opts: opts})
+	}
+	ms, err := s.Run(context.Background(), points)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s for %.1fs simulated, operating points solved per architecture\n\n", app, opts.Duration)
+	fmt.Printf("%-10s %8s %8s %9s %10s %10s %8s\n",
+		"arch", "MHz", "V", "cores", "power uW", "dyn uW", "vs SC")
+	scUW := ms[0].Report.TotalUW
+	for i, m := range ms {
+		fmt.Printf("%-10s %8.2f %8.2f %9d %10.1f %10.1f %7.1f%%\n",
+			points[i].Arch, m.Op.FreqHz/1e6, m.Op.VoltageV, m.Cores,
+			m.Report.TotalUW, m.Report.TotalDynamicUW, 100*m.Report.TotalUW/scUW)
 	}
 }
 

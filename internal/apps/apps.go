@@ -25,6 +25,21 @@ var Names = []string{MF3L, MMD3L, RPClass}
 // SampleRateHz is the ECG acquisition rate of every benchmark.
 const SampleRateHz = 250
 
+// SignalConfig returns the generator configuration of a benchmark's input
+// record: the shared ECG defaults with the per-app overrides applied
+// (RP-CLASS is the only benchmark whose behaviour depends on the
+// pathological-beat share). Centralizing this keeps every consumer — the
+// experiment driver, its signal cache and the benchmark harness — keyed on
+// identical configurations, so memoization collapses their records.
+func SignalConfig(app string, seed int64, pathoFrac float64) ecg.Config {
+	cfg := ecg.DefaultConfig()
+	cfg.Seed = seed
+	if app == RPClass {
+		cfg.PathologicalFrac = pathoFrac
+	}
+	return cfg
+}
+
 // Shared ring geometry (power-of-two lengths for cheap masking).
 const (
 	OutRingLen   = 2048 // conditioned-output rings

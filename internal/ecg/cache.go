@@ -1,0 +1,57 @@
+package ecg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes Synthesize by (Config, duration). The experiment sweep
+// engine shares one cache across its worker pool so each distinct record is
+// synthesized exactly once per grid instead of once per (app, arch) point;
+// synthesis is deterministic, so a cached record is bit-identical to a fresh
+// one. Callers must treat returned signals as immutable — they are shared.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	synths  atomic.Int64
+}
+
+type cacheKey struct {
+	cfg  Config
+	durS float64
+}
+
+// cacheEntry is a single-flight slot: concurrent requests for the same key
+// block on one synthesis instead of duplicating it.
+type cacheEntry struct {
+	once sync.Once
+	sig  *Signal
+	err  error
+}
+
+// NewCache returns an empty signal cache safe for concurrent use.
+func NewCache() *Cache {
+	return &Cache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// Synthesize returns the memoized record for (cfg, duration), synthesizing
+// it on first request.
+func (c *Cache) Synthesize(cfg Config, duration float64) (*Signal, error) {
+	key := cacheKey{cfg: cfg, durS: duration}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.synths.Add(1)
+		e.sig, e.err = Synthesize(cfg, duration)
+	})
+	return e.sig, e.err
+}
+
+// Synths returns how many records were actually synthesized (cache misses);
+// the gap to the request count is work the memoization saved.
+func (c *Cache) Synths() int { return int(c.synths.Load()) }

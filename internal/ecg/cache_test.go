@@ -1,0 +1,89 @@
+package ecg
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache()
+	cfg := DefaultConfig()
+	const workers = 8
+	sigs := make([]*Signal, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.Synthesize(cfg, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sigs[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if sigs[i] != sigs[0] {
+			t.Fatalf("worker %d got a distinct signal instance", i)
+		}
+	}
+	if n := c.Synths(); n != 1 {
+		t.Errorf("synthesized %d times for one key, want 1", n)
+	}
+}
+
+func TestCacheDistinguishesKeys(t *testing.T) {
+	c := NewCache()
+	cfg := DefaultConfig()
+	a, err := c.Synthesize(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different duration: distinct record.
+	b, err := c.Synthesize(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different durations shared one record")
+	}
+	// Different seed: distinct record.
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	d, err := c.Synthesize(cfg2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("different seeds shared one record")
+	}
+	if n := c.Synths(); n != 3 {
+		t.Errorf("synthesized %d times for three keys, want 3", n)
+	}
+}
+
+func TestCacheMatchesDirectSynthesis(t *testing.T) {
+	c := NewCache()
+	cfg := DefaultConfig()
+	cached, err := c.Synthesize(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Synthesize(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < NumLeads; l++ {
+		if len(cached.Leads[l]) != len(direct.Leads[l]) {
+			t.Fatalf("lead %d length differs", l)
+		}
+		for i := range cached.Leads[l] {
+			if cached.Leads[l][i] != direct.Leads[l][i] {
+				t.Fatalf("lead %d sample %d differs: cached %d, direct %d",
+					l, i, cached.Leads[l][i], direct.Leads[l][i])
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -32,6 +33,11 @@ type Options struct {
 	// exists as a cross-check and costs roughly the idle fraction of the
 	// run in extra wall-clock time.
 	Exact bool
+	// Cache, when non-nil, memoizes signal synthesis. The sweep engine
+	// injects a shared cache so each distinct record is synthesized once
+	// per grid instead of once per point; synthesis is deterministic, so
+	// results are unchanged.
+	Cache *ecg.Cache
 }
 
 // DefaultOptions returns a configuration balancing fidelity and runtime
@@ -40,19 +46,23 @@ func DefaultOptions() Options {
 	return Options{Duration: 10, ProbeDuration: 2.5, PathoFrac: 0.2, Seed: 1}
 }
 
-func (o Options) signal(app string) (*ecg.Signal, error) {
-	cfg := ecg.DefaultConfig()
-	cfg.Seed = o.Seed
-	if app == apps.RPClass {
-		cfg.PathologicalFrac = o.PathoFrac
+// synthesize builds the record directly or through the shared cache.
+func (o Options) synthesize(cfg ecg.Config, duration float64) (*ecg.Signal, error) {
+	if o.Cache != nil {
+		return o.Cache.Synthesize(cfg, duration)
 	}
+	return ecg.Synthesize(cfg, duration)
+}
+
+func (o Options) signal(app string) (*ecg.Signal, error) {
+	cfg := apps.SignalConfig(app, o.Seed, o.PathoFrac)
 	// Synthesize enough signal to cover probe and measurement without
 	// trace wrap-around mattering (the ADC loops the trace anyway).
 	dur := o.Duration
 	if dur < o.ProbeDuration {
 		dur = o.ProbeDuration
 	}
-	return ecg.Synthesize(cfg, dur+2)
+	return o.synthesize(cfg, dur+2)
 }
 
 // probeSignal returns the record used for operating-point solving. RP-CLASS
@@ -62,14 +72,10 @@ func (o Options) signal(app string) (*ecg.Signal, error) {
 // single, share-independent operating point per architecture, mirroring the
 // paper's fixed 3.3/1.0 MHz rows).
 func (o Options) probeSignal(app string) (*ecg.Signal, error) {
-	cfg := ecg.DefaultConfig()
-	cfg.Seed = o.Seed + 101
-	if app == apps.RPClass {
-		// Worst case by construction: every beat triggers the
-		// delineation chain during dimensioning.
-		cfg.PathologicalFrac = 1.0
-	}
-	return ecg.Synthesize(cfg, o.ProbeDuration+2)
+	// Worst case by construction: every beat triggers the delineation
+	// chain during dimensioning.
+	cfg := apps.SignalConfig(app, o.Seed+101, 1.0)
+	return o.synthesize(cfg, o.ProbeDuration+2)
 }
 
 // probeClockHz is the generous clock for the busy-cycle estimation run.
@@ -92,6 +98,14 @@ type OperatingPoint struct {
 // the busiest core at a generous clock and verified at the candidate,
 // escalating on real-time violations.
 func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Options) (OperatingPoint, error) {
+	return solveOperatingPoint(context.Background(), app, arch, sig, opts)
+}
+
+// solveOperatingPoint is the context-aware search behind SolveOperatingPoint.
+// Every simulated run is preceded by a cancellation check, so a sweep
+// aborting on another point's failure waits for at most one in-flight probe
+// or verification run, not the whole escalation loop.
+func solveOperatingPoint(ctx context.Context, app string, arch power.Arch, sig *ecg.Signal, opts Options) (OperatingPoint, error) {
 	probeSig, err := opts.probeSignal(app)
 	if err != nil {
 		return OperatingPoint{}, err
@@ -114,6 +128,9 @@ func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Opti
 		return OperatingPoint{}, err
 	}
 	p.SetExact(opts.Exact)
+	if err := ctx.Err(); err != nil {
+		return OperatingPoint{}, err
+	}
 	if err := p.RunSeconds(opts.ProbeDuration); err != nil {
 		return OperatingPoint{}, fmt.Errorf("exp: %s/%v probe: %w", app, arch, err)
 	}
@@ -137,8 +154,22 @@ func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Opti
 	demand *= freqMargin
 
 	vfs := power.DefaultVFS()
+	var lastFailedFreq float64
 	for try := 0; try < 12; try++ {
 		freq := power.ClampFreq(demand)
+		if freq == lastFailedFreq {
+			// The escalated demand is still below the platform's clock
+			// floor, so the clamp pins the candidate at the frequency
+			// that just failed verification. The simulator is
+			// deterministic — an identical configuration fails
+			// identically — so skip the redundant re-verification and
+			// keep escalating until the clamp moves (the try budget is
+			// consumed exactly as a failed verification would, keeping
+			// the demand schedule, and hence every solved operating
+			// point, unchanged).
+			demand *= 1.2
+			continue
+		}
 		op, err := power.MinVoltage(vfs, arch, freq)
 		if err != nil {
 			return OperatingPoint{}, err
@@ -153,10 +184,14 @@ func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Opti
 			return OperatingPoint{}, err
 		}
 		pp.SetExact(opts.Exact)
+		if err := ctx.Err(); err != nil {
+			return OperatingPoint{}, err
+		}
 		if err := pp.RunSeconds(opts.ProbeDuration); err != nil {
 			return OperatingPoint{}, err
 		}
 		if err := checkRealTime(pp); err != nil {
+			lastFailedFreq = freq
 			demand *= 1.2
 			continue
 		}
@@ -172,6 +207,11 @@ func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Opti
 			}
 		}
 		return OperatingPoint{FreqHz: freq, VoltageV: op.VoltageV}, nil
+	}
+	if power.ClampFreq(demand) == lastFailedFreq {
+		return OperatingPoint{}, fmt.Errorf(
+			"exp: %s/%v: misses real time at the clamped %.2f MHz clock floor and the escalated demand (%.2f MHz) cannot raise it",
+			app, arch, lastFailedFreq/1e6, demand/1e6)
 	}
 	return OperatingPoint{}, fmt.Errorf("exp: %s/%v: no real-time frequency found (demand %.2f MHz)", app, arch, demand/1e6)
 }

@@ -1,10 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/apps"
 	"repro/internal/power"
 )
 
@@ -19,47 +19,10 @@ type Fig6Bar struct {
 // Figure6 reproduces the paper's Figure 6: per benchmark, the per-component
 // power of (1) the single-core baseline, (2) the multi-core system without
 // the proposed synchronization (active waiting) and (3) the multi-core
-// system with it. The no-sync variant runs at the proposed system's
-// operating point.
+// system with it. It runs the grid through the parallel sweep engine on all
+// cores; results are deterministic regardless of the worker count.
 func Figure6(opts Options, params *power.Params) ([]Fig6Bar, error) {
-	var bars []Fig6Bar
-	for _, app := range apps.Names {
-		sig, err := opts.signal(app)
-		if err != nil {
-			return nil, err
-		}
-		scOp, err := SolveOperatingPoint(app, power.SC, sig, opts)
-		if err != nil {
-			return nil, err
-		}
-		mcOp, err := SolveOperatingPoint(app, power.MC, sig, opts)
-		if err != nil {
-			return nil, err
-		}
-		// The no-sync variant needs its own, higher operating point:
-		// without lock-step recovery, diverged replicated cores
-		// serialize on their shared instruction bank and miss real time
-		// at the proposed system's clock.
-		nsOp, err := SolveOperatingPoint(app, power.MCNoSync, sig, opts)
-		if err != nil {
-			return nil, err
-		}
-		for _, cfg := range []struct {
-			arch power.Arch
-			op   OperatingPoint
-		}{
-			{power.SC, scOp},
-			{power.MCNoSync, nsOp},
-			{power.MC, mcOp},
-		} {
-			m, err := Measure(app, cfg.arch, cfg.op, sig, opts, params)
-			if err != nil {
-				return nil, err
-			}
-			bars = append(bars, Fig6Bar{App: app, Arch: cfg.arch, M: m})
-		}
-	}
-	return bars, nil
+	return NewSweep(0, params).Figure6(context.Background(), opts)
 }
 
 // FormatFigure6 renders the decomposition as text, normalized to each
@@ -100,40 +63,11 @@ var Fig7Shares = []float64{0, 0.10, 0.20, 0.25, 0.33, 0.50, 1.00}
 
 // Figure7 reproduces the paper's Figure 7: RP-CLASS power on both systems,
 // and the reduction, as the share of pathological heartbeats grows
-// (uniformly distributed, §V-C).
+// (uniformly distributed, §V-C). It runs the share sweep through the
+// parallel sweep engine on all cores; results are deterministic regardless
+// of the worker count.
 func Figure7(opts Options, params *power.Params) ([]Fig7Point, error) {
-	var pts []Fig7Point
-	for _, share := range Fig7Shares {
-		o := opts
-		o.PathoFrac = share
-		sig, err := o.signal(apps.RPClass)
-		if err != nil {
-			return nil, err
-		}
-		scOp, err := SolveOperatingPoint(apps.RPClass, power.SC, sig, o)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 share %.2f SC: %w", share, err)
-		}
-		mcOp, err := SolveOperatingPoint(apps.RPClass, power.MC, sig, o)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 share %.2f MC: %w", share, err)
-		}
-		sc, err := Measure(apps.RPClass, power.SC, scOp, sig, o, params)
-		if err != nil {
-			return nil, err
-		}
-		mc, err := Measure(apps.RPClass, power.MC, mcOp, sig, o, params)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, Fig7Point{
-			PathoPct:     share * 100,
-			SCUW:         sc.Report.TotalUW,
-			MCUW:         mc.Report.TotalUW,
-			ReductionPct: 100 * (1 - mc.Report.TotalUW/sc.Report.TotalUW),
-		})
-	}
-	return pts, nil
+	return NewSweep(0, params).Figure7(context.Background(), opts)
 }
 
 // FormatFigure7 renders the sweep as text.

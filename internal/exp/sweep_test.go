@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/power"
+)
+
+// gridPoints is the reduced grid used by the parallelism tests: one
+// benchmark on both Table I architectures.
+func gridPoints(opts Options) []Point {
+	return []Point{
+		{App: apps.MF3L, Arch: power.SC, Opts: opts},
+		{App: apps.MF3L, Arch: power.MC, Opts: opts},
+	}
+}
+
+func TestSweepSerialParallelIdentical(t *testing.T) {
+	opts := tinyOpts()
+	params := power.DefaultParams()
+	serial, err := NewSweep(1, params).Run(context.Background(), gridPoints(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewSweep(4, params).Run(context.Background(), gridPoints(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("point %d: serial and parallel measurements differ:\nserial:   %+v\nparallel: %+v",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestSweepTableIDeterministic(t *testing.T) {
+	opts := tinyOpts()
+	params := power.DefaultParams()
+	serial, err := NewSweep(1, params).TableI(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewSweep(8, params).TableI(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte identity of the rendered report is the acceptance bar: any
+	// ordering or value divergence shows up here.
+	if s, p := FormatTableI(serial), FormatTableI(parallel); s != p {
+		t.Errorf("jobs=1 and jobs=8 Table I reports differ:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
+func TestSweepSharesSignalSynthesis(t *testing.T) {
+	opts := tinyOpts()
+	s := NewSweep(4, power.DefaultParams())
+	if _, err := s.TableI(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	// The full Table I grid (3 apps x 2 archs = 6 points, each needing a
+	// measured and a probe record) collapses onto 4 distinct records:
+	// 3L-MF and 3L-MMD share the default configuration, so the cache
+	// holds {default, rp-class} x {measure seed, probe seed}.
+	if n := s.Cache.Synths(); n != 4 {
+		t.Errorf("synthesized %d records for the Table I grid, want 4", n)
+	}
+}
+
+func TestSweepCancelsOnError(t *testing.T) {
+	opts := tinyOpts()
+	// An unknown application fails in apps.Build during the solve; the
+	// valid points behind it must not mask the failure.
+	points := []Point{
+		{App: "no-such-app", Arch: power.SC, Opts: opts},
+		{App: apps.MF3L, Arch: power.SC, Opts: opts},
+		{App: apps.MF3L, Arch: power.MC, Opts: opts},
+	}
+	ms, err := NewSweep(2, power.DefaultParams()).Run(context.Background(), points)
+	if err == nil {
+		t.Fatal("sweep with an invalid point returned no error")
+	}
+	if !strings.Contains(err.Error(), "no-such-app") {
+		t.Errorf("error %q does not name the failing point", err)
+	}
+	if ms != nil {
+		t.Errorf("failed sweep returned measurements: %v", ms)
+	}
+}
+
+func TestSweepRespectsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewSweep(2, power.DefaultParams()).Run(ctx, gridPoints(tinyOpts()))
+	if err == nil {
+		t.Fatal("sweep under a cancelled context returned no error")
+	}
+}
+
+func TestSweepProgressSerialized(t *testing.T) {
+	opts := tinyOpts()
+	s := NewSweep(4, power.DefaultParams())
+	var (
+		mu    sync.Mutex
+		dones []int
+		total int
+	)
+	s.Progress = func(done, tot int, p Point) {
+		mu.Lock()
+		defer mu.Unlock()
+		dones = append(dones, done)
+		total = tot
+	}
+	points := gridPoints(opts)
+	if _, err := s.Run(context.Background(), points); err != nil {
+		t.Fatal(err)
+	}
+	if total != len(points) || len(dones) != len(points) {
+		t.Fatalf("progress saw total=%d over %d calls, want %d", total, len(dones), len(points))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Errorf("progress done sequence %v is not monotonically 1..n", dones)
+			break
+		}
+	}
+}

@@ -1,10 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/apps"
 	"repro/internal/power"
 )
 
@@ -16,36 +16,11 @@ type TableIRow struct {
 }
 
 // TableI reproduces the paper's Table I: per benchmark, the single-core and
-// multi-core executions at their solved operating points.
+// multi-core executions at their solved operating points. It runs the grid
+// through the parallel sweep engine on all cores; results are deterministic
+// regardless of the worker count (see Sweep).
 func TableI(opts Options, params *power.Params) ([]TableIRow, error) {
-	var rows []TableIRow
-	for _, app := range apps.Names {
-		sig, err := opts.signal(app)
-		if err != nil {
-			return nil, err
-		}
-		scOp, err := SolveOperatingPoint(app, power.SC, sig, opts)
-		if err != nil {
-			return nil, err
-		}
-		mcOp, err := SolveOperatingPoint(app, power.MC, sig, opts)
-		if err != nil {
-			return nil, err
-		}
-		sc, err := Measure(app, power.SC, scOp, sig, opts, params)
-		if err != nil {
-			return nil, err
-		}
-		mc, err := Measure(app, power.MC, mcOp, sig, opts, params)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, TableIRow{
-			App: app, SC: sc, MC: mc,
-			SavingPct: 100 * (1 - mc.Report.TotalUW/sc.Report.TotalUW),
-		})
-	}
-	return rows, nil
+	return NewSweep(0, params).TableI(context.Background(), opts)
 }
 
 // FormatTableI renders the rows in the paper's layout.

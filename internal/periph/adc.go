@@ -26,7 +26,6 @@ type ADC struct {
 	enabled  [NumADCChannels]bool
 	rateHz   float64
 	periodCy float64 // platform cycles between samples, possibly fractional
-	nextAt   float64 // cycle of the next sampling instant
 	idx      int     // next sample index (channels sample simultaneously)
 
 	data     [NumADCChannels]uint16
@@ -53,7 +52,6 @@ func NewADC(traces [NumADCChannels][]int16, rateHz, clockHz float64, raise func(
 		traces:   traces,
 		rateHz:   rateHz,
 		periodCy: period,
-		nextAt:   period, // first sample after one full period
 		raise:    raise,
 		ctr:      ctr,
 	}
@@ -63,12 +61,21 @@ func NewADC(traces [NumADCChannels][]int16, rateHz, clockHz float64, raise func(
 	return a, nil
 }
 
+// instantCy returns the (possibly fractional) platform cycle of sampling
+// instant n: one full period after reset, then one per period. Deriving each
+// instant from the sample index keeps the cadence exact forever — a running
+// `nextAt += periodCy` accumulator would compound one float64 rounding error
+// per sample, drifting the sampling grid over the millions of samples a
+// paper-scale 60 s run publishes.
+func (a *ADC) instantCy(n int) float64 {
+	return a.periodCy * float64(n+1)
+}
+
 // Tick advances the ADC to the given platform cycle, publishing any due
 // samples. Traces wrap around when exhausted, modelling a continuing signal.
 func (a *ADC) Tick(cycle uint64) {
-	for float64(cycle) >= a.nextAt {
+	for float64(cycle) >= a.instantCy(a.idx) {
 		a.sample()
-		a.nextAt += a.periodCy
 	}
 }
 
@@ -97,10 +104,10 @@ func (a *ADC) sample() {
 
 // NextEventCycle returns the cycle number at which Tick will next publish a
 // sample: the smallest integer cycle satisfying Tick's float64(cycle) >=
-// nextAt condition. Ticks on earlier cycles are no-ops, which is what lets
-// the platform's fast-forward engine leap over them.
+// instantCy(idx) condition. Ticks on earlier cycles are no-ops, which is
+// what lets the platform's fast-forward engine leap over them.
 func (a *ADC) NextEventCycle() uint64 {
-	return uint64(math.Ceil(a.nextAt))
+	return uint64(math.Ceil(a.instantCy(a.idx)))
 }
 
 // ReadData returns the latest sample of channel ch and clears its ready bit

@@ -1,6 +1,7 @@
 package periph
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/isa"
@@ -197,5 +198,71 @@ func TestNextEventCycle(t *testing.T) {
 				t.Fatalf("rate %v/clock %v: Tick(%d) did not publish", tc.rate, tc.clock, next)
 			}
 		}
+	}
+}
+
+// TestLongRunSampleCount is the timing-drift regression test: over a
+// simulated 60 s the published sample count must equal rate*duration within
+// one sample, even when the sampling period is a non-terminating binary
+// fraction. The instants are derived from the sample index; a running
+// float64 accumulator would compound one rounding error per sample and let
+// the sampling grid drift on long runs.
+func TestLongRunSampleCount(t *testing.T) {
+	const (
+		clockHz   = 3.3e6 // Table I's SC-class clock
+		rateHz    = 360.0 // period = 9166.66... cycles, inexact in binary
+		durationS = 60.0  // the paper's full measurement window
+	)
+	a, err := NewADC(threeTraces(1024), rateHz, clockHz, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(durationS * clockHz)
+	for cyc := a.NextEventCycle(); cyc <= total; cyc = a.NextEventCycle() {
+		before := a.SamplesPublished()
+		// Fast-forward consistency: the cycle before the advertised
+		// event must be a no-op.
+		a.Tick(cyc - 1)
+		if got := a.SamplesPublished(); got != before {
+			t.Fatalf("Tick(%d) published a sample before NextEventCycle %d", cyc-1, cyc)
+		}
+		a.Tick(cyc)
+		if got := a.SamplesPublished(); got != before+1 {
+			t.Fatalf("Tick at advertised event cycle %d published %d samples, want 1", cyc, got-before)
+		}
+		a.ReadData(0)
+		a.ReadData(1)
+		a.ReadData(2)
+	}
+	want := rateHz * durationS
+	if got := float64(a.SamplesPublished()); math.Abs(got-want) > 1 {
+		t.Errorf("published %v samples over %v s at %v Hz, want %v +- 1", got, durationS, rateHz, want)
+	}
+	if a.Overruns() != 0 {
+		t.Errorf("overruns = %d, want 0", a.Overruns())
+	}
+}
+
+// TestSamplingInstantsExact pins each advertised instant to the closed form
+// ceil(period*(n+1)): no cumulative deviation is tolerated.
+func TestSamplingInstantsExact(t *testing.T) {
+	const (
+		clockHz = 1e6
+		rateHz  = 300.0 // period = 3333.33... cycles
+	)
+	a, err := NewADC(threeTraces(64), rateHz, clockHz, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := clockHz / rateHz
+	for n := 0; n < 100000; n++ {
+		want := uint64(math.Ceil(period * float64(n+1)))
+		if got := a.NextEventCycle(); got != want {
+			t.Fatalf("instant %d advertised at cycle %d, want %d", n, got, want)
+		}
+		a.Tick(a.NextEventCycle())
+		a.ReadData(0)
+		a.ReadData(1)
+		a.ReadData(2)
 	}
 }

@@ -29,7 +29,11 @@
 // and the exact one across all three benchmark applications.
 package platform
 
-import "repro/internal/core"
+import (
+	"math"
+
+	"repro/internal/core"
+)
 
 // Run simulates up to n further cycles, stopping early when every core has
 // halted or a fault occurs. Unless the platform is in exact mode, quiescent
@@ -57,7 +61,15 @@ func (p *Platform) Run(n uint64) error {
 // RunSeconds simulates the given wall-clock duration at the configured
 // platform frequency.
 func (p *Platform) RunSeconds(s float64) error {
-	return p.Run(uint64(s * p.cfg.ClockHz))
+	return p.Run(secondsToCycles(s, p.cfg.ClockHz))
+}
+
+// secondsToCycles converts a simulated duration to a whole-cycle budget,
+// rounding to the nearest cycle. Truncation would undercount budgets whose
+// product is not exactly representable — 0.3 s at 1 MHz is
+// 299999.99999999994 in float64 and must still be 300000 cycles.
+func secondsToCycles(s, clockHz float64) uint64 {
+	return uint64(math.Round(s * clockHz))
 }
 
 // fastForward leaps from the current cycle to just before the next cycle at

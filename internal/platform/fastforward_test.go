@@ -193,3 +193,26 @@ func TestFastForwardHaltedStops(t *testing.T) {
 		}
 	}
 }
+
+// TestSecondsToCyclesRounds is the cycle-budget regression test: fractional
+// durations at non-integer-MHz clocks must round to the nearest cycle, not
+// truncate one away.
+func TestSecondsToCyclesRounds(t *testing.T) {
+	cases := []struct {
+		s, clockHz float64
+		want       uint64
+	}{
+		{1, 1e6, 1000000},
+		// 0.3 * 1e6 = 299999.99999999994 in float64: truncation loses a
+		// cycle of the budget.
+		{0.3, 1e6, 300000},
+		{2.5, 3.3e6, 8250000},
+		{0.1, 3.3e6, 330000},
+		{60, 1e6, 60000000},
+	}
+	for _, c := range cases {
+		if got := secondsToCycles(c.s, c.clockHz); got != c.want {
+			t.Errorf("secondsToCycles(%v, %v) = %d, want %d", c.s, c.clockHz, got, c.want)
+		}
+	}
+}
