@@ -17,19 +17,19 @@ import (
 	"testing"
 
 	"repro/internal/apps"
-	"repro/internal/ecg"
 	"repro/internal/exp"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 func benchOpts() exp.Options {
 	return exp.Options{Duration: 2.5, ProbeDuration: 1.5, PathoFrac: 0.2, Seed: 1}
 }
 
-func benchSignal(b *testing.B, app string, opts exp.Options) *ecg.Signal {
+func benchSignal(b *testing.B, app string, opts exp.Options) *signal.Source {
 	b.Helper()
-	cfg := apps.SignalConfig(app, opts.Seed, opts.PathoFrac)
-	sig, err := ecg.Synthesize(cfg, opts.Duration+2)
+	base := signal.Config{Kind: signal.KindECG, Seed: opts.Seed, PathologicalFrac: opts.PathoFrac}
+	sig, err := signal.Synthesize(apps.SourceConfig(app, base), opts.Duration+2)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -133,8 +133,8 @@ func BenchmarkFigure7(b *testing.B) {
 		for _, share := range []float64{0, 0.20, 1.00} {
 			opts := benchOpts()
 			opts.PathoFrac = share
-			cfg := apps.SignalConfig(apps.RPClass, opts.Seed, share)
-			sig, err := ecg.Synthesize(cfg, opts.Duration+2)
+			base := signal.Config{Kind: signal.KindECG, Seed: opts.Seed, PathologicalFrac: share}
+			sig, err := signal.Synthesize(apps.SourceConfig(apps.RPClass, base), opts.Duration+2)
 			if err != nil {
 				b.Fatal(err)
 			}

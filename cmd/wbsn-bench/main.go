@@ -1,5 +1,7 @@
-// Command wbsn-bench regenerates the paper's evaluation artifacts: Table I,
-// Figure 6 and Figure 7.
+// Command wbsn-bench regenerates the paper's evaluation artifacts — Table I,
+// Figure 6 and Figure 7 — and, with -scenario, solves and measures the
+// operating-point grid of declarative scenario files (EMG, PPG, multi-rate
+// mixes) through the same parallel sweep engine.
 package main
 
 import (
@@ -9,12 +11,42 @@ import (
 	"os"
 	"runtime"
 
+	"strings"
+
 	"repro/internal/exp"
 	"repro/internal/power"
+	"repro/internal/scenario"
 )
+
+// runScenario solves and measures one scenario file's (app x arch) grid and
+// prints its operating-point table. Results are collected by grid index, so
+// the output is byte-identical for any -jobs value. applyFlags layers the
+// explicitly-set command-line flags over the scenario's options.
+func runScenario(ctx context.Context, sweep *exp.Sweep, path string, applyFlags func(*exp.Options)) error {
+	scn, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	opts := scn.Options()
+	applyFlags(&opts)
+	points := scn.Points(opts)
+	ms, err := sweep.Run(ctx, points)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== scenario %s: %s @ %g Hz, %.1fs simulated ==\n",
+		scn.Name, scn.Signal.Kind, scn.Signal.SampleRateHz, opts.Duration)
+	if scn.Description != "" {
+		fmt.Printf("   %s\n", scn.Description)
+	}
+	fmt.Print(exp.FormatPoints(points, ms))
+	fmt.Println()
+	return nil
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "table1, fig6, fig7 or all")
+	scenarios := flag.String("scenario", "", "comma-separated scenario files; when set, only the scenario grids run")
 	duration := flag.Float64("duration", 10, "simulated seconds per measured run (paper: 60)")
 	probe := flag.Float64("probe", 2.5, "simulated seconds per operating-point probe")
 	patho := flag.Float64("pathological", 0.2, "RP-CLASS pathological-beat share for table1/fig6")
@@ -29,11 +61,40 @@ func main() {
 	ctx := context.Background()
 
 	// One engine across all experiments: the memoized signal cache is
-	// shared, so records reused between Table I, Figure 6 and Figure 7
-	// are synthesized once.
+	// shared, so records reused between Table I, Figure 6, Figure 7 and
+	// the scenario grids are synthesized once.
 	sweep := exp.NewSweep(*jobs, params)
 	if !*quiet {
 		sweep.Progress = exp.ProgressPrinter(os.Stderr)
+	}
+
+	if *scenarios != "" {
+		// Explicitly-set flags override the scenario files' values (the
+		// same precedence wbsn-sim applies).
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		applyFlags := func(o *exp.Options) {
+			o.Exact = *exact
+			if set["duration"] {
+				o.Duration = *duration
+			}
+			if set["probe"] {
+				o.ProbeDuration = *probe
+			}
+			if set["pathological"] {
+				o.PathoFrac = *patho
+			}
+			if set["seed"] {
+				o.Seed = *seed
+			}
+		}
+		for _, path := range strings.Split(*scenarios, ",") {
+			if err := runScenario(ctx, sweep, strings.TrimSpace(path), applyFlags); err != nil {
+				fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {

@@ -1,13 +1,16 @@
 // Command wbsn-ecg dumps a synthetic multi-lead ECG record as CSV, with the
-// ground-truth beat annotations as comments.
+// ground-truth beat annotations as comments. It is the ECG-only alias of
+// cmd/wbsn-signal, kept for compatibility; new signal kinds (EMG, PPG) and
+// multi-rate dumps live there.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/ecg"
+	"repro/internal/signal"
 )
 
 func main() {
@@ -16,25 +19,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
 
-	cfg := ecg.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.PathologicalFrac = *patho
-	sig, err := ecg.Synthesize(cfg, *duration)
+	cfg := signal.Config{Kind: signal.KindECG, Seed: *seed, PathologicalFrac: *patho}
+	src, err := signal.Synthesize(cfg, *duration)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("# synthetic ECG: %.0f Hz, %d samples, %d beats (%d pathological)\n",
-		cfg.SampleRateHz, sig.Samples(), len(sig.Beats), sig.PathologicalCount())
-	for _, b := range sig.Beats {
-		label := "N"
-		if b.Pathological {
-			label = "V"
-		}
-		fmt.Printf("# beat %s at sample %d (onset %d, offset %d)\n", label, b.RPeak, b.Onset, b.Offset)
+	w := bufio.NewWriter(os.Stdout)
+	if err := signal.WriteCSV(w, src); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	fmt.Println("sample,lead0,lead1,lead2")
-	for i := 0; i < sig.Samples(); i++ {
-		fmt.Printf("%d,%d,%d,%d\n", i, sig.Leads[0][i], sig.Leads[1][i], sig.Leads[2][i])
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

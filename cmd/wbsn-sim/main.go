@@ -3,7 +3,10 @@
 // (code placement and data layout, paper Fig. 4). With -sweep it instead
 // compares the application across all three architectures at their solved
 // operating points, fanning the per-architecture solves out across the
-// parallel sweep engine.
+// parallel sweep engine. With -scenario the input signal (kind, rates,
+// per-channel divisors, seed, pathological share) and the default
+// application and duration come from a declarative scenario file instead of
+// the ECG flags.
 package main
 
 import (
@@ -15,9 +18,10 @@ import (
 	"sort"
 
 	"repro/internal/apps"
-	"repro/internal/ecg"
 	"repro/internal/exp"
 	"repro/internal/power"
+	"repro/internal/scenario"
+	"repro/internal/signal"
 	"repro/internal/trace"
 )
 
@@ -27,8 +31,9 @@ func main() {
 	clock := flag.Float64("clock-mhz", 1.0, "platform clock in MHz")
 	voltage := flag.Float64("voltage", 0.5, "supply voltage in V")
 	duration := flag.Float64("duration", 5, "simulated seconds")
-	patho := flag.Float64("pathological", 0.2, "pathological-beat share (rp-class)")
-	seed := flag.Int64("seed", 1, "synthetic ECG seed")
+	patho := flag.Float64("pathological", 0.2, "pathological-event share (rp-class)")
+	seed := flag.Int64("seed", 1, "synthetic record seed")
+	scenarioPath := flag.String("scenario", "", "scenario file providing the signal configuration (and default app/duration)")
 	dumpMapping := flag.Bool("dump-mapping", false, "print code/data placement and exit")
 	traceN := flag.Int("trace", 0, "record platform events and print the last N")
 	exact := flag.Bool("exact", false, "disable idle fast-forward; simulate every cycle (bit-identical results, slower)")
@@ -37,13 +42,44 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel sweep workers (-sweep; results are identical for any value)")
 	flag.Parse()
 
+	// Explicitly-set flags override the scenario file's values.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	base := signal.Config{Kind: signal.KindECG, Seed: *seed, PathologicalFrac: *patho}
+	scenarioName := ""
+	if *scenarioPath != "" {
+		scn, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			fatal(err)
+		}
+		base = scn.Signal
+		scenarioName = scn.Name
+		if set["seed"] {
+			base.Seed = *seed
+		}
+		if set["pathological"] {
+			base.PathologicalFrac = *patho
+		}
+		if !set["app"] {
+			*app = scn.Apps[0]
+		}
+		if !set["duration"] {
+			*duration = scn.DurationS
+		}
+		if !set["probe"] {
+			*probe = scn.ProbeS
+		}
+	}
+
 	if *sweepArchs {
 		if *dumpMapping || *traceN > 0 {
 			fatal(fmt.Errorf("-sweep compares solved operating points and is incompatible with -dump-mapping and -trace; run those against one -arch"))
 		}
 		runSweep(*app, exp.Options{
 			Duration: *duration, ProbeDuration: *probe,
-			PathoFrac: *patho, Seed: *seed, Exact: *exact,
+			PathoFrac: base.PathologicalFrac, Seed: base.Seed,
+			Source: base, Scenario: scenarioName, Exact: *exact,
 		}, *jobs)
 		return
 	}
@@ -76,10 +112,7 @@ func main() {
 		return
 	}
 
-	cfg := ecg.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.PathologicalFrac = *patho
-	sig, err := ecg.Synthesize(cfg, *duration+2)
+	sig, err := signal.Synthesize(base, *duration+2)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,7 +130,12 @@ func main() {
 		fatal(err)
 	}
 	c := p.Counters()
-	fmt.Printf("%s on %s at %.2f MHz / %.2f V for %.1fs simulated\n", *app, arch, *clock, *voltage, *duration)
+	label := *app
+	if scenarioName != "" {
+		label = scenarioName + ":" + label
+	}
+	fmt.Printf("%s on %s at %.2f MHz / %.2f V for %.1fs simulated (%s @ %g Hz)\n",
+		label, arch, *clock, *voltage, *duration, sig.Kind(), sig.BaseRateHz())
 	fmt.Printf("  cycles %d, instructions %d, ADC samples %d, overruns %d\n", c.Cycles, c.Instrs, c.ADCSamples, p.Overruns())
 	fmt.Printf("  IM broadcast %.2f%%, DM broadcast %.2f%%, run-time overhead %.2f%%\n",
 		c.IMBroadcastPct(), c.DMBroadcastPct(), c.RuntimeOverheadPct())

@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/ecg"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 func main() {
@@ -25,7 +26,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := v.NewPlatform(sig, 1.2e6, 0.5)
+		p, err := v.NewPlatform(signal.FromECG(sig), 1.2e6, 0.5)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/ecg"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 func main() {
@@ -24,7 +25,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := v.NewPlatform(sig, 1.6e6, 0.5)
+		p, err := v.NewPlatform(signal.FromECG(sig), 1.6e6, 0.5)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,12 +4,12 @@ import (
 	"fmt"
 
 	"repro/internal/dsp"
-	"repro/internal/ecg"
 	"repro/internal/isa"
 	"repro/internal/link"
 	"repro/internal/periph"
 	"repro/internal/platform"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 // Application names.
@@ -22,20 +22,32 @@ const (
 // Names lists the three benchmarks in the paper's order.
 var Names = []string{MF3L, MMD3L, RPClass}
 
-// SampleRateHz is the ECG acquisition rate of every benchmark.
+// SampleRateHz is the default ECG acquisition rate of the paper's
+// benchmarks; scenario files select other rates (and other signal kinds)
+// through SourceConfig.
 const SampleRateHz = 250
 
-// SignalConfig returns the generator configuration of a benchmark's input
-// record: the shared ECG defaults with the per-app overrides applied
-// (RP-CLASS is the only benchmark whose behaviour depends on the
-// pathological-beat share). Centralizing this keeps every consumer — the
-// experiment driver, its signal cache and the benchmark harness — keyed on
-// identical configurations, so memoization collapses their records.
-func SignalConfig(app string, seed int64, pathoFrac float64) ecg.Config {
-	cfg := ecg.DefaultConfig()
-	cfg.Seed = seed
-	if app == RPClass {
-		cfg.PathologicalFrac = pathoFrac
+// SourceConfig returns the generator configuration of a benchmark's input
+// record: the scenario's base signal configuration with the per-app
+// overrides applied. For ECG, RP-CLASS is the only benchmark whose
+// behaviour depends on the pathological-beat share — an ectopic beat is a
+// different morphology processed at identical per-sample cost by the
+// MF/MMD conditioning — so every other app's ECG record zeroes it,
+// letting 3L-MF and 3L-MMD share one cached record (and preserving the
+// paper's record semantics bit-for-bit). For EMG and PPG the pathological
+// share shapes the waveform globally (anomalous bursts, motion
+// excursions), so it is kept for every app: a scenario's advertised signal
+// content must be what every tool measures. Centralizing this keeps every
+// consumer — the experiment driver, its signal cache and the benchmark
+// harness — keyed on identical configurations, so memoization collapses
+// their records.
+func SourceConfig(app string, base signal.Config) signal.Config {
+	cfg := base
+	if cfg.Kind == "" {
+		cfg.Kind = signal.KindECG
+	}
+	if app != RPClass && cfg.Kind == signal.KindECG {
+		cfg.PathologicalFrac = 0
 	}
 	return cfg
 }
@@ -115,16 +127,18 @@ func (v *Variant) Addr(sym string) (uint16, error) {
 }
 
 // NewPlatform instantiates the variant on a simulated platform clocked at
-// clockHz, fed with the signal's leads.
-func (v *Variant) NewPlatform(sig *ecg.Signal, clockHz, voltageV float64) (*platform.Platform, error) {
+// clockHz, fed with the source's per-channel traces at their per-channel
+// rates (wrap ecg records with signal.FromECG).
+func (v *Variant) NewPlatform(src *signal.Source, clockHz, voltageV float64) (*platform.Platform, error) {
 	cfg := platform.Config{
 		Arch:         v.Arch,
 		ClockHz:      clockHz,
 		VoltageV:     voltageV,
-		SampleRateHz: SampleRateHz,
+		SampleRateHz: src.BaseRateHz(),
 	}
-	for ch := 0; ch < periph.NumADCChannels; ch++ {
-		cfg.Traces[ch] = sig.Leads[ch]
+	for ch := 0; ch < periph.NumADCChannels && ch < signal.MaxChannels; ch++ {
+		cfg.Traces[ch] = src.Traces[ch]
+		cfg.ChannelRateHz[ch] = src.Rates[ch]
 	}
 	return platform.New(cfg, v.Res.Image)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 func TestDiagMF(t *testing.T) {
@@ -14,7 +15,7 @@ func TestDiagMF(t *testing.T) {
 			t.Fatal(err)
 		}
 		clock := 4e6
-		p, err := v.NewPlatform(sig, clock, 0.6)
+		p, err := v.NewPlatform(signal.FromECG(sig), clock, 0.6)
 		if err != nil {
 			t.Fatal(err)
 		}

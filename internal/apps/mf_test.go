@@ -7,6 +7,7 @@ import (
 	"repro/internal/ecg"
 	"repro/internal/isa"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 func isaDecodeOp(w isa.Word) string { return isa.Decode(w).Op.String() }
@@ -32,7 +33,7 @@ func runMF(t *testing.T, arch power.Arch, sig *ecg.Signal, nSamples int) (*Varia
 		t.Fatal(err)
 	}
 	// Generous clock so real time is comfortably met during verification.
-	p, err := v.NewPlatform(sig, 4e6, 0.6)
+	p, err := v.NewPlatform(signal.FromECG(sig), 4e6, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestMFMCUsesOneIMBank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := v.NewPlatform(sig, 2e6, 0.5)
+	p, err := v.NewPlatform(signal.FromECG(sig), 2e6, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestMFMCBroadcastAndGating(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := v.NewPlatform(sig, 1.2e6, 0.5)
+	p, err := v.NewPlatform(signal.FromECG(sig), 1.2e6, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

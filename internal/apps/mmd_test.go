@@ -6,6 +6,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/ecg"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 // goldenMMD computes the reference combined stream and streamed fiducials
@@ -31,7 +32,7 @@ func runMMD(t *testing.T, arch power.Arch, sig *ecg.Signal, n int) (*Variant, []
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := v.NewPlatform(sig, 4e6, 0.6)
+	p, err := v.NewPlatform(signal.FromECG(sig), 4e6, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestMMDMCStructure(t *testing.T) {
 		t.Errorf("cores = %d, want 5 (paper Table I)", v.Cores)
 	}
 	sig := testSignal(t, 1, 0)
-	p, err := v.NewPlatform(sig, 1e6, 0.5)
+	p, err := v.NewPlatform(signal.FromECG(sig), 1e6, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/ecg"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 // goldenRP replicates the full RP-CLASS pipeline on the host: conditioning,
@@ -81,7 +82,7 @@ func runRP(t *testing.T, arch power.Arch, sig *ecg.Signal, n int, clock float64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := v.NewPlatform(sig, clock, 0.6)
+	p, err := v.NewPlatform(signal.FromECG(sig), clock, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestRPClassChainIdleWithoutPathology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := v.NewPlatform(sig, 2e6, 0.5)
+	p, err := v.NewPlatform(signal.FromECG(sig), 2e6, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestRPClassStructure(t *testing.T) {
 		t.Errorf("cores = %d, want 6 (paper Table I)", v.Cores)
 	}
 	sig := testSignal(t, 1, 0)
-	p, err := v.NewPlatform(sig, 1e6, 0.5)
+	p, err := v.NewPlatform(signal.FromECG(sig), 1e6, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,9 +10,9 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
-	"repro/internal/ecg"
 	"repro/internal/platform"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 // Options parameterizes an experiment run. Durations trade fidelity for
@@ -23,10 +23,18 @@ type Options struct {
 	// ProbeDuration is the simulated time used to estimate and verify the
 	// minimum frequency, seconds.
 	ProbeDuration float64
-	// PathoFrac is the pathological-beat share for RP-CLASS (Table I: 0.2).
+	// PathoFrac is the pathological-event share for RP-CLASS (Table I: 0.2).
 	PathoFrac float64
 	// Seed selects the synthetic record.
 	Seed int64
+	// Source is the base signal configuration (kind, rates, per-channel
+	// divisors, amplitudes) the per-app records derive from; the zero value
+	// selects the paper's default 250 Hz ECG. Seed and PathoFrac above are
+	// the sweep axes and override the corresponding Source fields.
+	Source signal.Config
+	// Scenario labels the options with the scenario they came from; it only
+	// affects progress and error reporting.
+	Scenario string
 	// Exact disables the simulator's idle fast-forward engine, forcing
 	// cycle-by-cycle simulation. Results are bit-identical either way
 	// (enforced by the platform's golden-equivalence tests); exact mode
@@ -37,7 +45,7 @@ type Options struct {
 	// injects a shared cache so each distinct record is synthesized once
 	// per grid instead of once per point; synthesis is deterministic, so
 	// results are unchanged.
-	Cache *ecg.Cache
+	Cache *signal.Cache
 }
 
 // DefaultOptions returns a configuration balancing fidelity and runtime
@@ -47,15 +55,29 @@ func DefaultOptions() Options {
 }
 
 // synthesize builds the record directly or through the shared cache.
-func (o Options) synthesize(cfg ecg.Config, duration float64) (*ecg.Signal, error) {
+func (o Options) synthesize(cfg signal.Config, duration float64) (*signal.Source, error) {
 	if o.Cache != nil {
 		return o.Cache.Synthesize(cfg, duration)
 	}
-	return ecg.Synthesize(cfg, duration)
+	return signal.Synthesize(cfg, duration)
 }
 
-func (o Options) signal(app string) (*ecg.Signal, error) {
-	cfg := apps.SignalConfig(app, o.Seed, o.PathoFrac)
+// base resolves the options' signal configuration: the Source base (default
+// ECG when unset) with the Seed and PathoFrac sweep axes applied.
+func (o Options) base() signal.Config {
+	cfg := o.Source
+	if cfg.Kind == "" {
+		cfg.Kind = signal.KindECG
+	}
+	cfg.Seed = o.Seed
+	cfg.PathologicalFrac = o.PathoFrac
+	return cfg
+}
+
+// Record returns app's synthesized input record under these options (the
+// record Measure runs against).
+func (o Options) Record(app string) (*signal.Source, error) {
+	cfg := apps.SourceConfig(app, o.base())
 	// Synthesize enough signal to cover probe and measurement without
 	// trace wrap-around mattering (the ADC loops the trace anyway).
 	dur := o.Duration
@@ -65,16 +87,19 @@ func (o Options) signal(app string) (*ecg.Signal, error) {
 	return o.synthesize(cfg, dur+2)
 }
 
-// probeSignal returns the record used for operating-point solving. RP-CLASS
-// is dimensioned for its worst case — pathological beats can always occur at
-// run time — so the probe record carries a generous ectopic share even when
-// the measured record carries fewer (this also keeps the Figure 7 sweep at a
-// single, share-independent operating point per architecture, mirroring the
-// paper's fixed 3.3/1.0 MHz rows).
-func (o Options) probeSignal(app string) (*ecg.Signal, error) {
-	// Worst case by construction: every beat triggers the delineation
+// probeRecord returns the record used for operating-point solving. RP-CLASS
+// is dimensioned for its worst case — pathological events can always occur
+// at run time — so the probe record carries a generous pathological share
+// even when the measured record carries fewer (this also keeps the Figure 7
+// sweep at a single, share-independent operating point per architecture,
+// mirroring the paper's fixed 3.3/1.0 MHz rows).
+func (o Options) probeRecord(app string) (*signal.Source, error) {
+	// Worst case by construction: every event triggers the delineation
 	// chain during dimensioning.
-	cfg := apps.SignalConfig(app, o.Seed+101, 1.0)
+	base := o.base()
+	base.Seed = o.Seed + 101
+	base.PathologicalFrac = 1.0
+	cfg := apps.SourceConfig(app, base)
 	return o.synthesize(cfg, o.ProbeDuration+2)
 }
 
@@ -97,7 +122,7 @@ type OperatingPoint struct {
 // independent (idle cores are clock-gated), so the demand is estimated from
 // the busiest core at a generous clock and verified at the candidate,
 // escalating on real-time violations.
-func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Options) (OperatingPoint, error) {
+func SolveOperatingPoint(app string, arch power.Arch, sig *signal.Source, opts Options) (OperatingPoint, error) {
 	return solveOperatingPoint(context.Background(), app, arch, sig, opts)
 }
 
@@ -105,8 +130,8 @@ func SolveOperatingPoint(app string, arch power.Arch, sig *ecg.Signal, opts Opti
 // Every simulated run is preceded by a cancellation check, so a sweep
 // aborting on another point's failure waits for at most one in-flight probe
 // or verification run, not the whole escalation loop.
-func solveOperatingPoint(ctx context.Context, app string, arch power.Arch, sig *ecg.Signal, opts Options) (OperatingPoint, error) {
-	probeSig, err := opts.probeSignal(app)
+func solveOperatingPoint(ctx context.Context, app string, arch power.Arch, sig *signal.Source, opts Options) (OperatingPoint, error) {
+	probeSig, err := opts.probeRecord(app)
 	if err != nil {
 		return OperatingPoint{}, err
 	}
@@ -147,7 +172,7 @@ func solveOperatingPoint(ctx context.Context, app string, arch power.Arch, sig *
 	if arch == power.SC {
 		// Sequential workloads carry the per-sample deadline on one
 		// core: the worst busy window within a sample period binds.
-		if peak := float64(p.MaxSampleBusy()) * apps.SampleRateHz; peak > demand {
+		if peak := float64(p.MaxSampleBusy()) * sig.BaseRateHz(); peak > demand {
 			demand = peak
 		}
 	}
@@ -247,7 +272,7 @@ type Measurement struct {
 
 // Measure runs app/arch at the given operating point for opts.Duration and
 // computes the power report.
-func Measure(app string, arch power.Arch, op OperatingPoint, sig *ecg.Signal, opts Options, params *power.Params) (*Measurement, error) {
+func Measure(app string, arch power.Arch, op OperatingPoint, sig *signal.Source, opts Options, params *power.Params) (*Measurement, error) {
 	v, err := apps.Build(app, arch)
 	if err != nil {
 		return nil, err

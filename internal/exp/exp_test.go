@@ -14,7 +14,7 @@ func tinyOpts() Options {
 func TestSolveOperatingPointMatchesPaperVoltages(t *testing.T) {
 	opts := tinyOpts()
 	for _, app := range apps.Names {
-		sig, err := opts.signal(app)
+		sig, err := opts.Record(app)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func TestSolveOperatingPointMatchesPaperVoltages(t *testing.T) {
 func TestMeasureProducesSavings(t *testing.T) {
 	opts := tinyOpts()
 	params := power.DefaultParams()
-	sig, err := opts.signal(apps.MF3L)
+	sig, err := opts.Record(apps.MF3L)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestNoSyncNeedsHigherOperatingPoint(t *testing.T) {
 	// Divergence-induced deadline misses accumulate over time; give the
 	// verification window enough samples to expose them.
 	opts.ProbeDuration = 2.5
-	sig, err := opts.signal(apps.MF3L)
+	sig, err := opts.Record(apps.MF3L)
 	if err != nil {
 		t.Fatal(err)
 	}

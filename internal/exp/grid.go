@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/power"
+)
+
+// Grid builds the (app x arch) experiment grid for one set of options: the
+// scenario axis of the evaluation. Scenario files pick the applications and
+// architectures a signal configuration exercises; each cell is solved and
+// measured independently by Sweep.Run.
+func Grid(appNames []string, archs []power.Arch, opts Options) []Point {
+	points := make([]Point, 0, len(appNames)*len(archs))
+	for _, app := range appNames {
+		for _, arch := range archs {
+			points = append(points, Point{App: app, Arch: arch, Opts: opts})
+		}
+	}
+	return points
+}
+
+// FormatPoints renders a solved grid as an operating-point table: per cell,
+// the minimum real-time clock, the minimum sustaining voltage, and the
+// calibrated average power at that point. Rows follow the grid order, so
+// the output is byte-identical for any sweep worker count.
+func FormatPoints(points []Point, ms []*Measurement) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-10s %8s %6s %6s %10s %10s %9s\n",
+		"app", "arch", "MHz", "V", "cores", "power uW", "dyn uW", "overhead")
+	for i, m := range ms {
+		overhead := "-"
+		if points[i].Arch == power.MC {
+			overhead = fmt.Sprintf("%.2f%%", m.Counters.RuntimeOverheadPct())
+		}
+		fmt.Fprintf(&sb, "%-10s %-10s %8.2f %6.2f %6d %10.1f %10.1f %9s\n",
+			points[i].App, points[i].Arch, m.Op.FreqHz/1e6, m.Op.VoltageV,
+			m.Cores, m.Report.TotalUW, m.Report.TotalDynamicUW, overhead)
+	}
+	return sb.String()
+}

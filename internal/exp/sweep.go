@@ -9,8 +9,8 @@ import (
 	"sync"
 
 	"repro/internal/apps"
-	"repro/internal/ecg"
 	"repro/internal/power"
+	"repro/internal/signal"
 )
 
 // Point is one cell of an experiment grid: an application on an
@@ -24,13 +24,18 @@ type Point struct {
 }
 
 // String labels the point in progress and error output. RP-CLASS carries
-// its pathological-beat share: Figure 7's grid holds otherwise
-// identically-named points at seven shares.
+// its pathological-event share (Figure 7's grid holds otherwise
+// identically-named points at seven shares) and scenario-derived points
+// their scenario name.
 func (p Point) String() string {
-	if p.App == apps.RPClass {
-		return fmt.Sprintf("%s/%v (patho %g%%)", p.App, p.Arch, p.Opts.PathoFrac*100)
+	label := fmt.Sprintf("%s/%v", p.App, p.Arch)
+	if p.Opts.Scenario != "" {
+		label = p.Opts.Scenario + ":" + label
 	}
-	return fmt.Sprintf("%s/%v", p.App, p.Arch)
+	if p.App == apps.RPClass {
+		return fmt.Sprintf("%s (patho %g%%)", label, p.Opts.PathoFrac*100)
+	}
+	return label
 }
 
 // Sweep fans an experiment grid out across a bounded worker pool. Every
@@ -49,7 +54,7 @@ type Sweep struct {
 	Params *power.Params
 	// Cache memoizes signal synthesis across points (NewSweep installs
 	// one; sharing a cache across sweeps is allowed and safe).
-	Cache *ecg.Cache
+	Cache *signal.Cache
 	// Progress, when non-nil, is invoked after each completed point with
 	// the number of points done so far and the grid size. Calls are
 	// serialized; the callback must not block for long.
@@ -59,7 +64,7 @@ type Sweep struct {
 // NewSweep returns a sweep engine running up to jobs points concurrently
 // (jobs < 1 selects runtime.NumCPU()).
 func NewSweep(jobs int, params *power.Params) *Sweep {
-	return &Sweep{Jobs: jobs, Params: params, Cache: ecg.NewCache()}
+	return &Sweep{Jobs: jobs, Params: params, Cache: signal.NewCache()}
 }
 
 // ProgressPrinter returns a Progress callback logging each completed point
@@ -84,7 +89,7 @@ func (s *Sweep) Run(ctx context.Context, points []Point) ([]*Measurement, error)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	if s.Cache == nil {
-		s.Cache = ecg.NewCache()
+		s.Cache = signal.NewCache()
 	}
 	jobs := s.Jobs
 	if jobs < 1 {
@@ -156,7 +161,7 @@ func (s *Sweep) point(ctx context.Context, pt Point) (*Measurement, error) {
 	if opts.Cache == nil {
 		opts.Cache = s.Cache
 	}
-	sig, err := opts.signal(pt.App)
+	sig, err := opts.Record(pt.App)
 	if err != nil {
 		return nil, err
 	}
@@ -174,8 +179,16 @@ func (s *Sweep) point(ctx context.Context, pt Point) (*Measurement, error) {
 // benchmark, the single-core and multi-core executions at their solved
 // operating points.
 func (s *Sweep) TableI(ctx context.Context, opts Options) ([]TableIRow, error) {
+	return s.Table(ctx, apps.Names, opts)
+}
+
+// Table runs the Table I pairing — single-core vs multi-core at solved
+// operating points — for an arbitrary application list, the per-scenario
+// axis of the evaluation (scenario files select which benchmarks a signal
+// kind exercises).
+func (s *Sweep) Table(ctx context.Context, appNames []string, opts Options) ([]TableIRow, error) {
 	var points []Point
-	for _, app := range apps.Names {
+	for _, app := range appNames {
 		points = append(points,
 			Point{App: app, Arch: power.SC, Opts: opts},
 			Point{App: app, Arch: power.MC, Opts: opts})
@@ -185,7 +198,7 @@ func (s *Sweep) TableI(ctx context.Context, opts Options) ([]TableIRow, error) {
 		return nil, err
 	}
 	var rows []TableIRow
-	for i, app := range apps.Names {
+	for i, app := range appNames {
 		sc, mc := ms[2*i], ms[2*i+1]
 		rows = append(rows, TableIRow{
 			App: app, SC: sc, MC: mc,

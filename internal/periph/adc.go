@@ -1,9 +1,12 @@
 // Package periph models the platform peripherals, chiefly the multi-channel
-// analog-to-digital converter that samples the bio-signals at a constant
-// frequency and raises data-ready interrupts forwarded by the synchronizer
-// (paper §III-B, §IV-B: "a three-channels ADC unit is interfaced to the
-// system using memory mapped registers ... and data-ready interrupt lines
-// connected to the synchronizer").
+// analog-to-digital converter that samples the bio-signals and raises
+// data-ready interrupts forwarded by the synchronizer (paper §III-B, §IV-B:
+// "a three-channels ADC unit is interfaced to the system using memory mapped
+// registers ... and data-ready interrupt lines connected to the
+// synchronizer"). Channels sample on independent index-derived grids, so a
+// single converter serves both the paper's equal-rate 3-lead ECG setup and
+// multi-rate scenario mixes (e.g. a fast lead next to decimated auxiliary
+// channels).
 package periph
 
 import (
@@ -17,16 +20,33 @@ import (
 // NumADCChannels is the channel count of the platform's ADC front-end.
 const NumADCChannels = 3
 
-// ADC is a fixed-rate multi-channel converter. Sample traces are preloaded
-// (the simulated analog world); each sampling instant publishes one sample
-// per enabled channel into the data registers, sets the ready bits and
-// raises the per-channel interrupt lines.
+// Channel configures one ADC channel: its preloaded sample trace (the
+// simulated analog world) and its sampling rate. A nil/empty trace disables
+// the channel.
+type Channel struct {
+	Trace  []int16
+	RateHz float64
+}
+
+// ADC is a multi-channel converter with a per-channel sampling rate. Each
+// channel publishes one sample per own-rate sampling instant into its data
+// register, sets its ready bit and raises its interrupt line; channels whose
+// instants coincide publish in the same event, sharing a single interrupt
+// raise (equal-rate channels therefore behave exactly like the original
+// simultaneous-sampling converter).
 type ADC struct {
 	traces   [NumADCChannels][]int16
 	enabled  [NumADCChannels]bool
-	rateHz   float64
-	periodCy float64 // platform cycles between samples, possibly fractional
-	idx      int     // next sample index (channels sample simultaneously)
+	rateHz   [NumADCChannels]float64
+	periodCy [NumADCChannels]float64 // platform cycles between samples, possibly fractional
+	idx      [NumADCChannels]int     // next sample index per channel
+	instants int                     // publication events so far (coinciding channels share one)
+
+	// nextDue caches the earliest pending sampling instant across enabled
+	// channels (+Inf with none), so the per-cycle Tick in the no-event
+	// common case is a single compare instead of a channel scan; it is
+	// recomputed only after a publication advances a channel index.
+	nextDue float64
 
 	data     [NumADCChannels]uint16
 	ready    uint16
@@ -36,82 +56,156 @@ type ADC struct {
 	ctr   *power.Counters
 }
 
-// NewADC creates an ADC sampling at rateHz with the platform clocked at
-// clockHz. raise is invoked with the IRQ source mask at each sampling
-// instant (wired to the synchronizer). Channels with a nil trace are
-// disabled.
+// NewADC creates an equal-rate ADC sampling every enabled channel at rateHz
+// with the platform clocked at clockHz: the paper's configuration. raise is
+// invoked with the IRQ source mask at each sampling instant (wired to the
+// synchronizer). Channels with a nil trace are disabled.
 func NewADC(traces [NumADCChannels][]int16, rateHz, clockHz float64, raise func(uint16), ctr *power.Counters) (*ADC, error) {
-	if rateHz <= 0 || clockHz <= 0 {
-		return nil, fmt.Errorf("periph: non-positive rate (%v Hz) or clock (%v Hz)", rateHz, clockHz)
+	if rateHz <= 0 {
+		return nil, fmt.Errorf("periph: non-positive sample rate %v Hz", rateHz)
 	}
-	period := clockHz / rateHz
-	if period < 1 {
-		return nil, fmt.Errorf("periph: sample rate %v Hz exceeds the platform clock %v Hz", rateHz, clockHz)
-	}
-	a := &ADC{
-		traces:   traces,
-		rateHz:   rateHz,
-		periodCy: period,
-		raise:    raise,
-		ctr:      ctr,
-	}
+	var chans [NumADCChannels]Channel
 	for ch, tr := range traces {
-		a.enabled[ch] = len(tr) > 0
+		chans[ch] = Channel{Trace: tr, RateHz: rateHz}
 	}
+	return NewMultiRateADC(chans, clockHz, raise, ctr)
+}
+
+// NewMultiRateADC creates an ADC whose channels sample at independent rates.
+// Enabled channels must carry traces of equal duration: equal-rate channels
+// must match in length exactly, and differing-rate channels within one
+// sample period (decimated traces round their length up) — silently
+// accepting mismatched traces would wrap one channel mid-record and shear
+// the channels out of alignment. Each channel's trace wraps around
+// independently when exhausted, modelling a continuing signal.
+func NewMultiRateADC(chans [NumADCChannels]Channel, clockHz float64, raise func(uint16), ctr *power.Counters) (*ADC, error) {
+	if clockHz <= 0 {
+		return nil, fmt.Errorf("periph: non-positive clock %v Hz", clockHz)
+	}
+	a := &ADC{raise: raise, ctr: ctr}
+	for ch, c := range chans {
+		if len(c.Trace) == 0 {
+			continue
+		}
+		if c.RateHz <= 0 {
+			return nil, fmt.Errorf("periph: channel %d has non-positive rate %v Hz", ch, c.RateHz)
+		}
+		period := clockHz / c.RateHz
+		if period < 1 {
+			return nil, fmt.Errorf("periph: channel %d rate %v Hz exceeds the platform clock %v Hz", ch, c.RateHz, clockHz)
+		}
+		a.traces[ch] = c.Trace
+		a.enabled[ch] = true
+		a.rateHz[ch] = c.RateHz
+		a.periodCy[ch] = period
+		// Validate against every earlier enabled channel, pairwise: a
+		// first-channel-only reference would let two equal-rate channels
+		// behind a different-rate reference slip through with unequal
+		// lengths.
+		for prev := 0; prev < ch; prev++ {
+			if !a.enabled[prev] {
+				continue
+			}
+			if c.RateHz == chans[prev].RateHz {
+				if len(c.Trace) != len(chans[prev].Trace) {
+					return nil, fmt.Errorf("periph: channels %d and %d sample at %v Hz but carry %d vs %d samples",
+						prev, ch, c.RateHz, len(chans[prev].Trace), len(c.Trace))
+				}
+				continue
+			}
+			durPrev := float64(len(chans[prev].Trace)) / chans[prev].RateHz
+			dur := float64(len(c.Trace)) / c.RateHz
+			if tol := 1/c.RateHz + 1/chans[prev].RateHz; math.Abs(dur-durPrev) > tol {
+				return nil, fmt.Errorf("periph: channel %d trace covers %.4f s but channel %d covers %.4f s; enabled channels must match in duration",
+					ch, dur, prev, durPrev)
+			}
+		}
+	}
+	a.nextDue = a.scanNextInstant()
 	return a, nil
 }
 
-// instantCy returns the (possibly fractional) platform cycle of sampling
-// instant n: one full period after reset, then one per period. Deriving each
-// instant from the sample index keeps the cadence exact forever — a running
-// `nextAt += periodCy` accumulator would compound one float64 rounding error
-// per sample, drifting the sampling grid over the millions of samples a
-// paper-scale 60 s run publishes.
-func (a *ADC) instantCy(n int) float64 {
-	return a.periodCy * float64(n+1)
+// instantCy returns the (possibly fractional) platform cycle of channel
+// ch's sampling instant n: one full period after reset, then one per
+// period. Deriving each instant from the sample index keeps the cadence
+// exact forever — a running `nextAt += periodCy` accumulator would compound
+// one float64 rounding error per sample, drifting the sampling grid over
+// the millions of samples a paper-scale 60 s run publishes.
+func (a *ADC) instantCy(ch, n int) float64 {
+	return a.periodCy[ch] * float64(n+1)
 }
 
-// Tick advances the ADC to the given platform cycle, publishing any due
-// samples. Traces wrap around when exhausted, modelling a continuing signal.
-func (a *ADC) Tick(cycle uint64) {
-	for float64(cycle) >= a.instantCy(a.idx) {
-		a.sample()
-	}
-}
-
-func (a *ADC) sample() {
-	var irq uint16
+// scanNextInstant recomputes the earliest pending sampling instant across
+// enabled channels (and +Inf with none enabled).
+func (a *ADC) scanNextInstant() float64 {
+	min := math.Inf(1)
 	for ch := 0; ch < NumADCChannels; ch++ {
 		if !a.enabled[ch] {
 			continue
 		}
-		bit := uint16(isa.IRQADC0) << uint(ch)
-		if a.ready&bit != 0 {
-			// Previous sample was never read: real-time violation.
-			a.overruns++
+		if in := a.instantCy(ch, a.idx[ch]); in < min {
+			min = in
 		}
-		tr := a.traces[ch]
-		a.data[ch] = uint16(tr[a.idx%len(tr)])
-		a.ready |= bit
-		irq |= bit
 	}
-	a.idx++
-	a.ctr.ADCSamples++
-	if irq != 0 && a.raise != nil {
-		a.raise(irq)
+	return min
+}
+
+// Tick advances the ADC to the given platform cycle, publishing any due
+// samples. Channels whose instants land on the same integer cycle — always
+// the case at equal rates, and at every true coincidence of divided rates
+// even when the fractional closed forms differ in the last ulp — publish as
+// one event: one sample counter increment and one combined interrupt
+// raise, exactly as samples on one clock edge are indistinguishable in
+// hardware.
+func (a *ADC) Tick(cycle uint64) {
+	for float64(cycle) >= a.nextDue { // +Inf nextDue never satisfies this
+		due := uint64(math.Ceil(a.nextDue))
+		var irq uint16
+		for ch := 0; ch < NumADCChannels; ch++ {
+			if a.enabled[ch] && uint64(math.Ceil(a.instantCy(ch, a.idx[ch]))) == due {
+				irq |= a.sample(ch)
+			}
+		}
+		a.nextDue = a.scanNextInstant()
+		a.instants++
+		a.ctr.ADCSamples++
+		if irq != 0 && a.raise != nil {
+			a.raise(irq)
+		}
 	}
+}
+
+// sample publishes channel ch's next sample and returns its IRQ bit.
+func (a *ADC) sample(ch int) uint16 {
+	bit := uint16(isa.IRQADC0) << uint(ch)
+	if a.ready&bit != 0 {
+		// Previous sample was never read: real-time violation.
+		a.overruns++
+	}
+	tr := a.traces[ch]
+	a.data[ch] = uint16(tr[a.idx[ch]%len(tr)])
+	a.ready |= bit
+	a.idx[ch]++
+	return bit
 }
 
 // NextEventCycle returns the cycle number at which Tick will next publish a
-// sample: the smallest integer cycle satisfying Tick's float64(cycle) >=
-// instantCy(idx) condition. Ticks on earlier cycles are no-ops, which is
-// what lets the platform's fast-forward engine leap over them.
+// sample on any channel: the smallest integer cycle satisfying Tick's
+// float64(cycle) >= instant condition for the earliest pending per-channel
+// instant. Ticks on earlier cycles are no-ops, which is what lets the
+// platform's fast-forward engine leap over them — with multi-rate channels
+// the minimum across the per-channel grids keeps the leap exact.
 func (a *ADC) NextEventCycle() uint64 {
-	return uint64(math.Ceil(a.instantCy(a.idx)))
+	if math.IsInf(a.nextDue, 1) {
+		return math.MaxUint64
+	}
+	return uint64(math.Ceil(a.nextDue))
 }
 
 // ReadData returns the latest sample of channel ch and clears its ready bit
-// (reading the data register acknowledges the sample).
+// (reading the data register acknowledges the sample). A channel read
+// between its own sampling instants holds its last value: slower channels
+// appear zero-order-held to code polling at the base rate.
 func (a *ADC) ReadData(ch int) uint16 {
 	if ch < 0 || ch >= NumADCChannels {
 		return 0
@@ -127,8 +221,26 @@ func (a *ADC) Status() uint16 { return a.ready }
 // non-zero value after warm-up means the configuration missed real time.
 func (a *ADC) Overruns() uint64 { return a.overruns }
 
-// SamplesPublished returns the number of sampling instants so far.
-func (a *ADC) SamplesPublished() int { return a.idx }
+// SamplesPublished returns the number of publication events so far
+// (channels sampling at the same instant share one event, so at equal rates
+// this counts sampling instants exactly as the single-rate converter did).
+func (a *ADC) SamplesPublished() int { return a.instants }
 
-// RateHz returns the configured sampling rate.
-func (a *ADC) RateHz() float64 { return a.rateHz }
+// RateHz returns the fastest enabled channel's sampling rate.
+func (a *ADC) RateHz() float64 {
+	max := 0.0
+	for ch := 0; ch < NumADCChannels; ch++ {
+		if a.enabled[ch] && a.rateHz[ch] > max {
+			max = a.rateHz[ch]
+		}
+	}
+	return max
+}
+
+// ChannelRateHz returns channel ch's sampling rate (0 when disabled).
+func (a *ADC) ChannelRateHz(ch int) float64 {
+	if ch < 0 || ch >= NumADCChannels {
+		return 0
+	}
+	return a.rateHz[ch]
+}

@@ -266,3 +266,189 @@ func TestSamplingInstantsExact(t *testing.T) {
 		a.ReadData(2)
 	}
 }
+
+// TestMultiRateIndependentGrids pins the per-channel sampling grids: at
+// 250/125 Hz on a 1 MHz clock, channel 0 publishes every 4000 cycles and
+// channel 1 every 8000, with the coinciding instants grouped into a single
+// publication event (one counter increment, one combined IRQ raise).
+func TestMultiRateIndependentGrids(t *testing.T) {
+	ctr := &power.Counters{}
+	var irqs []uint16
+	var chans [NumADCChannels]Channel
+	chans[0] = Channel{Trace: make([]int16, 100), RateHz: 250}
+	chans[1] = Channel{Trace: make([]int16, 50), RateHz: 125}
+	a, err := NewMultiRateADC(chans, 1e6, func(m uint16) { irqs = append(irqs, m) }, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cyc := uint64(0); cyc <= 16000; cyc++ {
+		a.Tick(cyc)
+		a.ReadData(0)
+		a.ReadData(1)
+	}
+	// Events: 4000 (ch0), 8000 (ch0+ch1), 12000 (ch0), 16000 (ch0+ch1).
+	want := []uint16{isa.IRQADC0, isa.IRQADC0 | isa.IRQADC1, isa.IRQADC0, isa.IRQADC0 | isa.IRQADC1}
+	if len(irqs) != len(want) {
+		t.Fatalf("raised %d IRQs (%v), want %d", len(irqs), irqs, len(want))
+	}
+	for i, m := range want {
+		if irqs[i] != m {
+			t.Errorf("IRQ %d mask = %#x, want %#x", i, irqs[i], m)
+		}
+	}
+	if a.SamplesPublished() != 4 {
+		t.Errorf("publication events = %d, want 4", a.SamplesPublished())
+	}
+	if ctr.ADCSamples != 4 {
+		t.Errorf("counter ADCSamples = %d, want 4", ctr.ADCSamples)
+	}
+	if a.Overruns() != 0 {
+		t.Errorf("overruns = %d", a.Overruns())
+	}
+	if a.RateHz() != 250 || a.ChannelRateHz(1) != 125 {
+		t.Errorf("rates = %v / %v, want 250 / 125", a.RateHz(), a.ChannelRateHz(1))
+	}
+}
+
+// TestMultiRateNextEventCycle pins the fast-forward contract on divided
+// grids: NextEventCycle is the min across the per-channel instants, Tick is
+// a no-op strictly before it, and exactly one event publishes at it.
+func TestMultiRateNextEventCycle(t *testing.T) {
+	ctr := &power.Counters{}
+	var chans [NumADCChannels]Channel
+	chans[0] = Channel{Trace: make([]int16, 1024), RateHz: 300} // 3333.33.. cycles
+	chans[1] = Channel{Trace: make([]int16, 512), RateHz: 150}  // 6666.66.. cycles
+	chans[2] = Channel{Trace: make([]int16, 256), RateHz: 75}   // 13333.33.. cycles
+	a, err := NewMultiRateADC(chans, 1e6, nil, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		next := a.NextEventCycle()
+		before := ctr.ADCSamples
+		a.Tick(next - 1)
+		if ctr.ADCSamples != before {
+			t.Fatalf("Tick(%d) published before the advertised event", next-1)
+		}
+		a.Tick(next)
+		if ctr.ADCSamples != before+1 {
+			t.Fatalf("Tick(%d) published %d events, want 1", next, ctr.ADCSamples-before)
+		}
+		for ch := 0; ch < NumADCChannels; ch++ {
+			a.ReadData(ch)
+		}
+	}
+	// Over the simulated stretch the channels must keep their 4:2:1 ratio.
+	n0, n1, n2 := a.idx[0], a.idx[1], a.idx[2]
+	if n0 < 2*n1-2 || n0 > 2*n1+2 || n0 < 4*n2-4 || n0 > 4*n2+4 {
+		t.Errorf("per-channel sample counts %d/%d/%d break the 4:2:1 rate ratio", n0, n1, n2)
+	}
+}
+
+// TestUnequalTraceLengthsRejected is the regression test for the silent
+// mis-acceptance: equal-rate channels with different trace lengths would
+// wrap one channel mid-record and shear the channels out of alignment.
+func TestUnequalTraceLengthsRejected(t *testing.T) {
+	var tr [NumADCChannels][]int16
+	tr[0] = make([]int16, 100)
+	tr[1] = make([]int16, 99)
+	tr[2] = make([]int16, 100)
+	if _, err := NewADC(tr, 250, 1e6, nil, &power.Counters{}); err == nil {
+		t.Fatal("unequal trace lengths accepted at equal rates")
+	}
+}
+
+// TestMultiRateDurationMismatchRejected: differing-rate channels must carry
+// equal durations (within one sample of rounding), not equal lengths.
+func TestMultiRateDurationMismatchRejected(t *testing.T) {
+	var chans [NumADCChannels]Channel
+	chans[0] = Channel{Trace: make([]int16, 500), RateHz: 250} // 2.0 s
+	chans[1] = Channel{Trace: make([]int16, 250), RateHz: 125} // 2.0 s: fine
+	if _, err := NewMultiRateADC(chans, 1e6, nil, &power.Counters{}); err != nil {
+		t.Fatalf("equal-duration multi-rate traces rejected: %v", err)
+	}
+	chans[1] = Channel{Trace: make([]int16, 251), RateHz: 125} // 2.008 s: rounding slack, fine
+	if _, err := NewMultiRateADC(chans, 1e6, nil, &power.Counters{}); err != nil {
+		t.Fatalf("one-sample rounding slack rejected: %v", err)
+	}
+	chans[1] = Channel{Trace: make([]int16, 150), RateHz: 125} // 1.2 s: mismatch
+	if _, err := NewMultiRateADC(chans, 1e6, nil, &power.Counters{}); err == nil {
+		t.Fatal("mismatched multi-rate trace durations accepted")
+	}
+}
+
+// TestMultiRateZeroOrderHold: a slow channel read between its sampling
+// instants holds its last value, the upsampling semantics base-rate code
+// observes.
+func TestMultiRateZeroOrderHold(t *testing.T) {
+	var chans [NumADCChannels]Channel
+	chans[0] = Channel{Trace: []int16{10, 11, 12, 13}, RateHz: 250}
+	chans[1] = Channel{Trace: []int16{20, 21}, RateHz: 125}
+	a, err := NewMultiRateADC(chans, 1e6, nil, &power.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(4000) // ch0 only
+	if got := a.ReadData(1); got != 0 {
+		t.Errorf("channel 1 before its first instant = %d, want 0", got)
+	}
+	a.Tick(8000) // both
+	if got := a.ReadData(1); got != 20 {
+		t.Errorf("channel 1 first sample = %d, want 20", got)
+	}
+	a.Tick(12000) // ch0 only: ch1 holds
+	if got := a.ReadData(1); got != 20 {
+		t.Errorf("channel 1 between instants = %d, want held 20", got)
+	}
+	if got := a.ReadData(0); got != 12 {
+		t.Errorf("channel 0 third sample = %d, want 12", got)
+	}
+}
+
+// TestEqualRateBehindDifferentRateReferenceRejected is the regression test
+// for the pairwise validation: two equal-rate channels behind a
+// different-rate channel 0 must still be length-checked against each other,
+// not only against channel 0's duration.
+func TestEqualRateBehindDifferentRateReferenceRejected(t *testing.T) {
+	var chans [NumADCChannels]Channel
+	chans[0] = Channel{Trace: make([]int16, 500), RateHz: 250}
+	chans[1] = Channel{Trace: make([]int16, 250), RateHz: 125}
+	chans[2] = Channel{Trace: make([]int16, 251), RateHz: 125}
+	if _, err := NewMultiRateADC(chans, 1e6, nil, &power.Counters{}); err == nil {
+		t.Fatal("equal-rate channels 1 and 2 with unequal lengths accepted behind a different-rate channel 0")
+	}
+	chans[2] = Channel{Trace: make([]int16, 250), RateHz: 125}
+	if _, err := NewMultiRateADC(chans, 1e6, nil, &power.Counters{}); err != nil {
+		t.Fatalf("consistent mixed-rate configuration rejected: %v", err)
+	}
+}
+
+// TestNonDyadicDivisorCoincidenceGroups is the regression test for the
+// float-equality grouping bug: with a divisor-3 channel the fractional
+// closed-form instants of a true coincidence can differ in the last ulp
+// (clock/(rate/3) != 3*(clock/rate) in float64), but both land on the same
+// integer cycle and must publish as one event with one combined IRQ raise.
+func TestNonDyadicDivisorCoincidenceGroups(t *testing.T) {
+	ctr := &power.Counters{}
+	var irqs []uint16
+	var chans [NumADCChannels]Channel
+	chans[0] = Channel{Trace: make([]int16, 300), RateHz: 400}
+	chans[1] = Channel{Trace: make([]int16, 100), RateHz: 400.0 / 3}
+	a, err := NewMultiRateADC(chans, 1e6, func(m uint16) { irqs = append(irqs, m) }, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive three base periods (2500 cycles each): events at cycles 2500
+	// (ch0), 5000 (ch0) and 7500 (ch0 + ch1's first instant, 7499.99..).
+	for cyc := uint64(0); cyc <= 7500; cyc++ {
+		a.Tick(cyc)
+		a.ReadData(0)
+		a.ReadData(1)
+	}
+	if a.SamplesPublished() != 3 {
+		t.Errorf("publication events = %d, want 3 (coincidence must group)", a.SamplesPublished())
+	}
+	if len(irqs) != 3 || irqs[2] != isa.IRQADC0|isa.IRQADC1 {
+		t.Errorf("irqs = %#x, want third raise to carry both channels", irqs)
+	}
+}

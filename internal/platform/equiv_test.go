@@ -9,6 +9,7 @@ import (
 	"repro/internal/ecg"
 	"repro/internal/platform"
 	"repro/internal/power"
+	"repro/internal/signal"
 	"repro/internal/trace"
 )
 
@@ -21,10 +22,6 @@ const goldenClockHz = 2e6
 
 func runGolden(t *testing.T, app string, arch power.Arch, exact bool) (*apps.Variant, *platform.Platform) {
 	t.Helper()
-	v, err := apps.Build(app, arch)
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := ecg.DefaultConfig()
 	cfg.Seed = 1
 	if app == apps.RPClass {
@@ -34,7 +31,16 @@ func runGolden(t *testing.T, app string, arch power.Arch, exact bool) (*apps.Var
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := v.NewPlatform(sig, goldenClockHz, 0.5)
+	return runGoldenSource(t, app, arch, signal.FromECG(sig), exact)
+}
+
+func runGoldenSource(t *testing.T, app string, arch power.Arch, src *signal.Source, exact bool) (*apps.Variant, *platform.Platform) {
+	t.Helper()
+	v, err := apps.Build(app, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := v.NewPlatform(src, goldenClockHz, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +50,61 @@ func runGolden(t *testing.T, app string, arch power.Arch, exact bool) (*apps.Var
 		t.Fatal(err)
 	}
 	return v, p
+}
+
+// assertEquivalent asserts that the exact and fast-forwarded runs of one
+// configuration are observably bit-identical: counters, per-core state,
+// debug and error streams, and the full event trace.
+func assertEquivalent(t *testing.T, v *apps.Variant, exact, fast *platform.Platform) {
+	t.Helper()
+	if *exact.Counters() != *fast.Counters() {
+		t.Errorf("counters diverge:\nexact: %+v\nfast:  %+v", *exact.Counters(), *fast.Counters())
+	}
+	if e, f := exact.Cycle(), fast.Cycle(); e != f {
+		t.Errorf("cycle diverges: exact %d, fast %d", e, f)
+	}
+	for c := 0; c < v.Cores; c++ {
+		if e, f := exact.CoreBusy(c), fast.CoreBusy(c); e != f {
+			t.Errorf("core %d busy diverges: exact %d, fast %d", c, e, f)
+		}
+		if e, f := exact.CoreRegs(c), fast.CoreRegs(c); e != f {
+			t.Errorf("core %d registers diverge", c)
+		}
+		if e, f := exact.CoreState(c), fast.CoreState(c); e != f {
+			t.Errorf("core %d state diverges: exact %v, fast %v", c, e, f)
+		}
+	}
+	if e, f := exact.MaxSampleBusy(), fast.MaxSampleBusy(); e != f {
+		t.Errorf("max sample busy diverges: exact %d, fast %d", e, f)
+	}
+	if e, f := exact.Overruns(), fast.Overruns(); e != f {
+		t.Errorf("overruns diverge: exact %d, fast %d", e, f)
+	}
+	if !reflect.DeepEqual(exact.Debug(), fast.Debug()) {
+		t.Errorf("debug streams diverge: exact %d entries, fast %d",
+			len(exact.Debug()), len(fast.Debug()))
+	}
+	if !reflect.DeepEqual(exact.ErrCodes(), fast.ErrCodes()) {
+		t.Errorf("error streams diverge: exact %d entries, fast %d",
+			len(exact.ErrCodes()), len(fast.ErrCodes()))
+	}
+	ev, fv := exact.Tracer().Events(), fast.Tracer().Events()
+	if len(ev) != len(fv) {
+		t.Errorf("trace lengths diverge: exact %d events, fast %d", len(ev), len(fv))
+	}
+	for i := 0; i < len(ev) && i < len(fv); i++ {
+		if ev[i] != fv[i] {
+			t.Errorf("trace diverges at event %d:\nexact: %s\nfast:  %s",
+				i, ev[i].String(), fv[i].String())
+			break
+		}
+	}
+	if exact.FFSkippedCycles() != 0 {
+		t.Errorf("exact mode skipped %d cycles, want 0", exact.FFSkippedCycles())
+	}
+	if fast.FFSkippedCycles() == 0 {
+		t.Error("fast-forward never engaged")
+	}
 }
 
 // TestGoldenEquivalence asserts that the idle fast-forward engine is
@@ -59,61 +120,42 @@ func TestGoldenEquivalence(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/%v", app, arch), func(t *testing.T) {
 				v, exact := runGolden(t, app, arch, true)
 				_, fast := runGolden(t, app, arch, false)
-
-				if *exact.Counters() != *fast.Counters() {
-					t.Errorf("counters diverge:\nexact: %+v\nfast:  %+v", *exact.Counters(), *fast.Counters())
-				}
-				if e, f := exact.Cycle(), fast.Cycle(); e != f {
-					t.Errorf("cycle diverges: exact %d, fast %d", e, f)
-				}
-				for c := 0; c < v.Cores; c++ {
-					if e, f := exact.CoreBusy(c), fast.CoreBusy(c); e != f {
-						t.Errorf("core %d busy diverges: exact %d, fast %d", c, e, f)
-					}
-					if e, f := exact.CoreRegs(c), fast.CoreRegs(c); e != f {
-						t.Errorf("core %d registers diverge", c)
-					}
-					if e, f := exact.CoreState(c), fast.CoreState(c); e != f {
-						t.Errorf("core %d state diverges: exact %v, fast %v", c, e, f)
-					}
-				}
-				if e, f := exact.MaxSampleBusy(), fast.MaxSampleBusy(); e != f {
-					t.Errorf("max sample busy diverges: exact %d, fast %d", e, f)
-				}
-				if e, f := exact.Overruns(), fast.Overruns(); e != f {
-					t.Errorf("overruns diverge: exact %d, fast %d", e, f)
-				}
-				if !reflect.DeepEqual(exact.Debug(), fast.Debug()) {
-					t.Errorf("debug streams diverge: exact %d entries, fast %d",
-						len(exact.Debug()), len(fast.Debug()))
-				}
-				if !reflect.DeepEqual(exact.ErrCodes(), fast.ErrCodes()) {
-					t.Errorf("error streams diverge: exact %d entries, fast %d",
-						len(exact.ErrCodes()), len(fast.ErrCodes()))
-				}
-				ev, fv := exact.Tracer().Events(), fast.Tracer().Events()
-				if len(ev) != len(fv) {
-					t.Errorf("trace lengths diverge: exact %d events, fast %d", len(ev), len(fv))
-				}
-				for i := 0; i < len(ev) && i < len(fv); i++ {
-					if ev[i] != fv[i] {
-						t.Errorf("trace diverges at event %d:\nexact: %s\nfast:  %s",
-							i, ev[i].String(), fv[i].String())
-						break
-					}
-				}
-
-				if exact.FFSkippedCycles() != 0 {
-					t.Errorf("exact mode skipped %d cycles, want 0", exact.FFSkippedCycles())
-				}
-				if fast.FFSkippedCycles() == 0 {
-					t.Error("fast-forward never engaged")
-				}
+				assertEquivalent(t, v, exact, fast)
 				if arch == power.MC && fast.FFSkippedCycles() < fast.Cycle()/2 {
 					t.Errorf("MC run skipped only %d of %d cycles; want idle domination",
 						fast.FFSkippedCycles(), fast.Cycle())
 				}
 			})
 		}
+	}
+}
+
+// TestGoldenEquivalenceMultiRate extends the golden suite to a multi-rate
+// scenario: with per-channel rate divisors the ADC advertises the minimum
+// across three independent sampling grids, and the fast-forward engine must
+// stay bit-identical to the exact cycle-by-cycle simulation leaping between
+// them. Covers both the sequential baseline and the replicated multi-core
+// mapping, whose cores consume their own (differently-clocked) channels.
+func TestGoldenEquivalenceMultiRate(t *testing.T) {
+	cfg := signal.DefaultConfig(signal.KindECG)
+	cfg.Seed = 1
+	cfg.RateDiv = [signal.MaxChannels]int{1, 2, 4}
+	src, err := signal.Synthesize(cfg, goldenDuration+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []power.Arch{power.SC, power.MC} {
+		arch := arch
+		t.Run(fmt.Sprintf("%s/%v", apps.MF3L, arch), func(t *testing.T) {
+			v, exact := runGoldenSource(t, apps.MF3L, arch, src, true)
+			_, fast := runGoldenSource(t, apps.MF3L, arch, src, false)
+			assertEquivalent(t, v, exact, fast)
+			if n := fast.Overruns(); n != 0 {
+				t.Errorf("multi-rate run overran %d samples", n)
+			}
+			if viol := fast.Violations(); len(viol) > 0 {
+				t.Errorf("multi-rate run recorded sync violations: %v", viol)
+			}
+		})
 	}
 }

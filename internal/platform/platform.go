@@ -69,8 +69,12 @@ type Config struct {
 	ClockHz  float64
 	VoltageV float64 // recorded for power reporting; does not alter timing
 
+	// SampleRateHz is the base ADC sampling rate; 0 disables the ADC.
 	SampleRateHz float64
-	Traces       [periph.NumADCChannels][]int16
+	// ChannelRateHz optionally overrides the sampling rate per channel
+	// (multi-rate scenarios); zero entries fall back to SampleRateHz.
+	ChannelRateHz [periph.NumADCChannels]float64
+	Traces        [periph.NumADCChannels][]int16
 
 	// MaxDebug caps the debug/error traces (0 means a generous default).
 	MaxDebug int
@@ -294,7 +298,15 @@ func New(cfg Config, img *Image) (*Platform, error) {
 			}
 			p.sync.RaiseIRQ(mask)
 		}
-		adc, err := periph.NewADC(cfg.Traces, cfg.SampleRateHz, cfg.ClockHz, raise, &p.ctr)
+		var chans [periph.NumADCChannels]periph.Channel
+		for ch := range chans {
+			rate := cfg.ChannelRateHz[ch]
+			if rate == 0 {
+				rate = cfg.SampleRateHz
+			}
+			chans[ch] = periph.Channel{Trace: cfg.Traces[ch], RateHz: rate}
+		}
+		adc, err := periph.NewMultiRateADC(chans, cfg.ClockHz, raise, &p.ctr)
 		if err != nil {
 			return nil, err
 		}

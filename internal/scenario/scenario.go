@@ -1,0 +1,214 @@
+// Package scenario loads declarative experiment scenarios: JSON files that
+// select a signal kind, per-channel sampling rates, seed, pathological
+// fraction, simulated durations, and which benchmark applications and
+// architecture variants to solve — turning every new workload into a config
+// file instead of a code change (ROADMAP: "scenario files selecting traces,
+// rates and per-app parameters").
+//
+// A scenario file looks like:
+//
+//	{
+//	  "name": "emg-burst",
+//	  "description": "surface-EMG burst activity at 400 Hz",
+//	  "signal": {
+//	    "kind": "emg",
+//	    "sample_rate_hz": 400,
+//	    "rate_div": [1, 1, 1],
+//	    "seed": 1,
+//	    "event_rate_hz": 0.6,
+//	    "pathological_frac": 0.2,
+//	    "amplitude": 900,
+//	    "noise_amp": 12
+//	  },
+//	  "duration_s": 10,
+//	  "probe_s": 2.5,
+//	  "apps": ["3l-mf", "3l-mmd"],
+//	  "archs": ["sc", "mc"]
+//	}
+//
+// Omitted signal fields take the kind's defaults; omitted durations the
+// experiment defaults; omitted apps/archs the full paper grid. Unknown
+// fields are rejected — a typoed knob must not silently fall back. One
+// deliberate exception, inherited from signal.Config's comparable-cache-key
+// representation: a zero sample_rate_hz, event_rate_hz, amplitude or
+// noise_amp means "kind default" (use a small non-zero noise_amp for a
+// near-noiseless record); seed is a pointer field, so an explicit 0 is a
+// valid seed.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/exp"
+	"repro/internal/power"
+	"repro/internal/signal"
+)
+
+// Scenario is one loaded and validated experiment scenario.
+type Scenario struct {
+	Name        string
+	Description string
+	// Signal is the validated, normalized base signal configuration.
+	Signal signal.Config
+	// DurationS is the simulated measurement time per grid cell, seconds.
+	DurationS float64
+	// ProbeS is the simulated time per operating-point probe, seconds.
+	ProbeS float64
+	// Apps lists the benchmark applications the scenario exercises.
+	Apps []string
+	// Archs lists the architecture variants solved per application.
+	Archs []power.Arch
+}
+
+// fileFormat is the on-disk schema. Pointer fields distinguish "omitted"
+// from an explicit zero.
+type fileFormat struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description"`
+	Signal      signalFormat `json:"signal"`
+	DurationS   *float64     `json:"duration_s"`
+	ProbeS      *float64     `json:"probe_s"`
+	Apps        []string     `json:"apps"`
+	Archs       []string     `json:"archs"`
+}
+
+type signalFormat struct {
+	Kind         string  `json:"kind"`
+	SampleRateHz float64 `json:"sample_rate_hz"`
+	RateDiv      []int   `json:"rate_div"`
+	// Seed is a pointer so an explicit 0 (a valid generator seed) is
+	// distinguishable from an omitted field (which defaults to 1, the
+	// experiment default).
+	Seed             *int64  `json:"seed"`
+	PathologicalFrac float64 `json:"pathological_frac"`
+	EventRateHz      float64 `json:"event_rate_hz"`
+	Amplitude        float64 `json:"amplitude"`
+	NoiseAmp         float64 `json:"noise_amp"`
+}
+
+// archNames maps the file spelling to the architecture variants.
+var archNames = map[string]power.Arch{
+	"sc":        power.SC,
+	"mc":        power.MC,
+	"mc-nosync": power.MCNoSync,
+}
+
+// Load reads and validates one scenario file.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", filepath.Base(path), err)
+	}
+	return s, nil
+}
+
+// Parse reads and validates one scenario from r.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var ff fileFormat
+	if err := dec.Decode(&ff); err != nil {
+		return nil, err
+	}
+	if ff.Name == "" {
+		return nil, fmt.Errorf("missing \"name\"")
+	}
+	if strings.ContainsAny(ff.Name, " \t\n") {
+		return nil, fmt.Errorf("name %q contains whitespace", ff.Name)
+	}
+
+	cfg := signal.Config{
+		Kind:             signal.Kind(ff.Signal.Kind),
+		SampleRateHz:     ff.Signal.SampleRateHz,
+		Seed:             1,
+		PathologicalFrac: ff.Signal.PathologicalFrac,
+		EventRateHz:      ff.Signal.EventRateHz,
+		Amplitude:        ff.Signal.Amplitude,
+		NoiseAmp:         ff.Signal.NoiseAmp,
+	}
+	if ff.Signal.Seed != nil {
+		cfg.Seed = *ff.Signal.Seed
+	}
+	if len(ff.Signal.RateDiv) > signal.MaxChannels {
+		return nil, fmt.Errorf("rate_div has %d entries, the platform ADC has %d channels",
+			len(ff.Signal.RateDiv), signal.MaxChannels)
+	}
+	copy(cfg.RateDiv[:], ff.Signal.RateDiv)
+	cfg, err := signal.Normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Scenario{
+		Name:        ff.Name,
+		Description: ff.Description,
+		Signal:      cfg,
+		DurationS:   10,
+		ProbeS:      2.5,
+		Apps:        ff.Apps,
+		Archs:       []power.Arch{power.SC, power.MC},
+	}
+	if ff.DurationS != nil {
+		s.DurationS = *ff.DurationS
+	}
+	if ff.ProbeS != nil {
+		s.ProbeS = *ff.ProbeS
+	}
+	if s.DurationS <= 0 || s.ProbeS <= 0 {
+		return nil, fmt.Errorf("non-positive duration_s (%v) or probe_s (%v)", s.DurationS, s.ProbeS)
+	}
+	if len(s.Apps) == 0 {
+		s.Apps = append([]string(nil), apps.Names...)
+	}
+	for _, app := range s.Apps {
+		known := false
+		for _, n := range apps.Names {
+			known = known || n == app
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown app %q (known: %v)", app, apps.Names)
+		}
+	}
+	if len(ff.Archs) > 0 {
+		s.Archs = s.Archs[:0]
+		for _, name := range ff.Archs {
+			arch, ok := archNames[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown arch %q (known: sc, mc, mc-nosync)", name)
+			}
+			s.Archs = append(s.Archs, arch)
+		}
+	}
+	return s, nil
+}
+
+// Options converts the scenario into experiment options. Seed and
+// PathoFrac are lifted out of the signal configuration because they are
+// exp's sweep axes (exp.Options re-applies them onto Source).
+func (s *Scenario) Options() exp.Options {
+	return exp.Options{
+		Duration:      s.DurationS,
+		ProbeDuration: s.ProbeS,
+		PathoFrac:     s.Signal.PathologicalFrac,
+		Seed:          s.Signal.Seed,
+		Source:        s.Signal,
+		Scenario:      s.Name,
+	}
+}
+
+// Points builds the scenario's (app x arch) experiment grid under opts
+// (usually s.Options(), possibly with Exact or durations overridden).
+func (s *Scenario) Points(opts exp.Options) []exp.Point {
+	return exp.Grid(s.Apps, s.Archs, opts)
+}

@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"context"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/power"
+	"repro/internal/signal"
+)
+
+// bundledDir is the checked-in scenario directory, relative to this package.
+const bundledDir = "../../scenarios"
+
+func loadBundled(t *testing.T) map[string]*Scenario {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(bundledDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("found %d bundled scenarios, want >= 5 (%v)", len(paths), paths)
+	}
+	sort.Strings(paths)
+	out := map[string]*Scenario{}
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		base := strings.TrimSuffix(filepath.Base(p), ".json")
+		if s.Name != base {
+			t.Errorf("%s declares name %q; file name and scenario name must match", p, s.Name)
+		}
+		if _, dup := out[s.Name]; dup {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		out[s.Name] = s
+	}
+	return out
+}
+
+// TestBundledScenariosCoverTheKinds pins the bundle's breadth: at least one
+// ECG, one EMG, one PPG scenario and one multi-rate mix.
+func TestBundledScenariosCoverTheKinds(t *testing.T) {
+	scns := loadBundled(t)
+	kinds := map[signal.Kind]bool{}
+	multiRate := false
+	for _, s := range scns {
+		kinds[s.Signal.Kind] = true
+		for _, d := range s.Signal.RateDiv {
+			multiRate = multiRate || d > 1
+		}
+	}
+	for _, k := range []signal.Kind{signal.KindECG, signal.KindEMG, signal.KindPPG} {
+		if !kinds[k] {
+			t.Errorf("no bundled scenario exercises kind %q", k)
+		}
+	}
+	if !multiRate {
+		t.Error("no bundled scenario uses per-channel rate divisors")
+	}
+}
+
+// TestBundledScenariosSolve loads every checked-in scenario and solves its
+// first (app, arch) cell at short duration: a scenario that cannot reach a
+// real-time operating point is a broken config and must not ship.
+func TestBundledScenariosSolve(t *testing.T) {
+	for name, s := range loadBundled(t) {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opts := s.Options()
+			opts.Duration = 0.8
+			opts.ProbeDuration = 0.6
+			app, arch := s.Apps[0], s.Archs[0]
+			sig, err := opts.Record(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			op, err := exp.SolveOperatingPoint(app, arch, sig, opts)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", app, arch, err)
+			}
+			if op.FreqHz < power.MinClockHz || op.VoltageV <= 0 {
+				t.Errorf("%s/%v solved to an implausible point %v", app, arch, op)
+			}
+		})
+	}
+}
+
+// TestScenarioTableDeterministic pins the acceptance bar for scenario
+// sweeps: the rendered operating-point table of a scenario grid is
+// byte-identical between a serial and a parallel sweep.
+func TestScenarioTableDeterministic(t *testing.T) {
+	s, err := Load(filepath.Join(bundledDir, "ppg-motion.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := s.Options()
+	opts.Duration = 0.8
+	opts.ProbeDuration = 0.6
+	points := s.Points(opts)
+	render := func(jobs int) string {
+		ms, err := exp.NewSweep(jobs, power.DefaultParams()).Run(context.Background(), points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exp.FormatPoints(points, ms)
+	}
+	if serial, parallel := render(1), render(6); serial != parallel {
+		t.Errorf("jobs=1 and jobs=6 scenario tables differ:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestParseValidation(t *testing.T) {
+	cases := map[string]string{
+		"missing name":   `{"signal": {"kind": "ecg"}}`,
+		"unknown field":  `{"name": "x", "signal": {"kind": "ecg"}, "durations": 3}`,
+		"unknown kind":   `{"name": "x", "signal": {"kind": "eeg"}}`,
+		"unknown app":    `{"name": "x", "signal": {"kind": "ecg"}, "apps": ["4l-mf"]}`,
+		"unknown arch":   `{"name": "x", "signal": {"kind": "ecg"}, "archs": ["gpu"]}`,
+		"bad patho":      `{"name": "x", "signal": {"kind": "ecg", "pathological_frac": 2}}`,
+		"bad divisor":    `{"name": "x", "signal": {"kind": "ecg", "rate_div": [1, -1, 1]}}`,
+		"too many chans": `{"name": "x", "signal": {"kind": "ecg", "rate_div": [1, 1, 1, 1]}}`,
+		"zero duration":  `{"name": "x", "signal": {"kind": "ecg"}, "duration_s": 0}`,
+	}
+	for label, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted %s", label, doc)
+		}
+	}
+}
+
+// TestExplicitZeroSeed: seed 0 is a valid generator seed and must not be
+// silently rewritten to the omitted-field default of 1.
+func TestExplicitZeroSeed(t *testing.T) {
+	s, err := Parse(strings.NewReader(`{"name": "z", "signal": {"kind": "ecg", "seed": 0}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Signal.Seed != 0 {
+		t.Errorf("explicit seed 0 loaded as %d", s.Signal.Seed)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse(strings.NewReader(`{"name": "mini", "signal": {"kind": "emg"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Signal.SampleRateHz != 400 || s.Signal.Seed != 1 {
+		t.Errorf("EMG defaults not applied: %+v", s.Signal)
+	}
+	if s.DurationS != 10 || s.ProbeS != 2.5 {
+		t.Errorf("duration defaults not applied: %v / %v", s.DurationS, s.ProbeS)
+	}
+	if len(s.Apps) != 3 || len(s.Archs) != 2 {
+		t.Errorf("grid defaults not applied: apps %v archs %v", s.Apps, s.Archs)
+	}
+	opts := s.Options()
+	if opts.Scenario != "mini" || opts.Source.Kind != signal.KindEMG || opts.Seed != 1 {
+		t.Errorf("options not derived from scenario: %+v", opts)
+	}
+	if got := len(s.Points(opts)); got != 6 {
+		t.Errorf("default grid has %d points, want 6", got)
+	}
+}

@@ -1,15 +1,16 @@
-package ecg
+package signal
 
 import (
 	"sync"
 	"sync/atomic"
 )
 
-// Cache memoizes Synthesize by (Config, duration). The experiment sweep
-// engine shares one cache across its worker pool so each distinct record is
-// synthesized exactly once per grid instead of once per (app, arch) point;
-// synthesis is deterministic, so a cached record is bit-identical to a fresh
-// one. Callers must treat returned signals as immutable — they are shared.
+// Cache memoizes Synthesize by (kind, normalized config, duration). The
+// experiment sweep engine shares one cache across its worker pool so each
+// distinct record is synthesized exactly once per grid instead of once per
+// (app, arch, scenario) point; synthesis is deterministic, so a cached
+// record is bit-identical to a fresh one. Callers must treat returned
+// sources as immutable — they are shared.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
@@ -25,7 +26,7 @@ type cacheKey struct {
 // block on one synthesis instead of duplicating it.
 type cacheEntry struct {
 	once sync.Once
-	sig  *Signal
+	src  *Source
 	err  error
 }
 
@@ -35,9 +36,14 @@ func NewCache() *Cache {
 }
 
 // Synthesize returns the memoized record for (cfg, duration), synthesizing
-// it on first request.
-func (c *Cache) Synthesize(cfg Config, duration float64) (*Signal, error) {
-	key := cacheKey{cfg: cfg, durS: duration}
+// it on first request. Keys are normalized first, so a zero-field config
+// and its explicit-default spelling share one record.
+func (c *Cache) Synthesize(cfg Config, duration float64) (*Source, error) {
+	norm, err := Normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{cfg: norm, durS: duration}
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -47,9 +53,9 @@ func (c *Cache) Synthesize(cfg Config, duration float64) (*Signal, error) {
 	c.mu.Unlock()
 	e.once.Do(func() {
 		c.synths.Add(1)
-		e.sig, e.err = Synthesize(cfg, duration)
+		e.src, e.err = Synthesize(norm, duration)
 	})
-	return e.sig, e.err
+	return e.src, e.err
 }
 
 // Synths returns how many records were actually synthesized (cache misses);

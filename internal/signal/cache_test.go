@@ -1,0 +1,114 @@
+package signal
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache()
+	cfg := DefaultConfig(KindEMG)
+	const workers = 8
+	srcs := make([]*Source, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.Synthesize(cfg, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			srcs[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if srcs[i] != srcs[0] {
+			t.Fatalf("worker %d got a distinct record instance", i)
+		}
+	}
+	if n := c.Synths(); n != 1 {
+		t.Errorf("synthesized %d times for one key, want 1", n)
+	}
+}
+
+func TestCacheDistinguishesKeys(t *testing.T) {
+	c := NewCache()
+	cfg := DefaultConfig(KindPPG)
+	a, err := c.Synthesize(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different duration: distinct record.
+	b, err := c.Synthesize(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different durations shared one record")
+	}
+	// Different kind at the same duration: distinct record.
+	d, err := c.Synthesize(DefaultConfig(KindEMG), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("different kinds shared one record")
+	}
+	if n := c.Synths(); n != 3 {
+		t.Errorf("synthesized %d times for three keys, want 3", n)
+	}
+}
+
+// TestCacheNormalizesKeys pins that a zero-field config and its explicit
+// default spelling memoize onto one record: the experiment driver passes
+// partially-filled configs while scenarios pass normalized ones.
+func TestCacheNormalizesKeys(t *testing.T) {
+	c := NewCache()
+	a, err := c.Synthesize(Config{Kind: KindECG}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Synthesize(DefaultConfig(KindECG), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("zero-field and explicit-default configs did not share one record")
+	}
+	if n := c.Synths(); n != 1 {
+		t.Errorf("synthesized %d times, want 1", n)
+	}
+}
+
+func TestCacheMatchesDirectSynthesis(t *testing.T) {
+	c := NewCache()
+	cfg := DefaultConfig(KindEMG)
+	cached, err := c.Synthesize(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Synthesize(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := 0; ch < MaxChannels; ch++ {
+		if len(cached.Traces[ch]) != len(direct.Traces[ch]) {
+			t.Fatalf("channel %d length differs", ch)
+		}
+		for i := range cached.Traces[ch] {
+			if cached.Traces[ch][i] != direct.Traces[ch][i] {
+				t.Fatalf("channel %d sample %d differs: cached %d, direct %d",
+					ch, i, cached.Traces[ch][i], direct.Traces[ch][i])
+			}
+		}
+	}
+}
+
+func TestCacheRejectsInvalidConfig(t *testing.T) {
+	if _, err := NewCache().Synthesize(Config{Kind: "bogus"}, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

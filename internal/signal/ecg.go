@@ -1,0 +1,69 @@
+package signal
+
+import "repro/internal/ecg"
+
+// The ECG defaults match ecg.DefaultConfig: 250 Hz, 72 bpm (1.2 * 60 ==
+// 72.0 exactly in float64), R peak 1200 LSB, noise 30 LSB — keeping the
+// generic path bit-identical to the legacy generator.
+func init() {
+	Register(KindECG, synthesizeECG,
+		Config{SampleRateHz: 250, EventRateHz: 1.2, Amplitude: 1200, NoiseAmp: 30})
+}
+
+// synthesizeECG adapts the existing multi-lead ECG generator to the generic
+// Source interface. The mapping is exact for the defaults: DefaultConfig's
+// 250 Hz / 1.2 beats-per-second / 1200 LSB / 30 LSB reconstructs
+// ecg.DefaultConfig bit-for-bit (1.2 * 60 == 72.0 in float64), so records
+// produced through this package are identical to the pre-subsystem ones.
+func synthesizeECG(cfg Config, duration float64) (*Source, error) {
+	ec := ecg.Config{
+		SampleRateHz:     cfg.SampleRateHz,
+		HeartRateBPM:     cfg.EventRateHz * 60,
+		RRJitter:         0.04,
+		PathologicalFrac: cfg.PathologicalFrac,
+		BaselineAmp:      90,
+		NoiseAmp:         cfg.NoiseAmp,
+		RAmplitude:       cfg.Amplitude,
+		Seed:             cfg.Seed,
+	}
+	sig, err := ecg.Synthesize(ec, duration)
+	if err != nil {
+		return nil, err
+	}
+	src := &Source{Events: sig.PathologicalCount()}
+	for ch := 0; ch < MaxChannels && ch < ecg.NumLeads; ch++ {
+		src.Traces[ch] = sig.Leads[ch]
+	}
+	for _, b := range sig.Beats {
+		src.Annotations = append(src.Annotations,
+			Annotation{At: b.RPeak, Onset: b.Onset, Offset: b.Offset, Pathological: b.Pathological})
+	}
+	return src, nil
+}
+
+// FromECG wraps an already-synthesized ECG record as a generic single-rate
+// Source, for callers (tests, examples) that drive the generator directly.
+func FromECG(sig *ecg.Signal) *Source {
+	src := &Source{
+		Cfg: Config{
+			Kind:             KindECG,
+			SampleRateHz:     sig.Cfg.SampleRateHz,
+			RateDiv:          [MaxChannels]int{1, 1, 1},
+			Seed:             sig.Cfg.Seed,
+			PathologicalFrac: sig.Cfg.PathologicalFrac,
+			EventRateHz:      sig.Cfg.HeartRateBPM / 60,
+			Amplitude:        sig.Cfg.RAmplitude,
+			NoiseAmp:         sig.Cfg.NoiseAmp,
+		},
+		Events: sig.PathologicalCount(),
+	}
+	for ch := 0; ch < MaxChannels && ch < ecg.NumLeads; ch++ {
+		src.Traces[ch] = sig.Leads[ch]
+		src.Rates[ch] = sig.Cfg.SampleRateHz
+	}
+	for _, b := range sig.Beats {
+		src.Annotations = append(src.Annotations,
+			Annotation{At: b.RPeak, Onset: b.Onset, Offset: b.Offset, Pathological: b.Pathological})
+	}
+	return src
+}

@@ -1,0 +1,101 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+)
+
+func init() {
+	Register(KindEMG, synthesizeEMG,
+		Config{SampleRateHz: 400, EventRateHz: 0.6, Amplitude: 900, NoiseAmp: 12})
+}
+
+// emgGain models three electrode sites over the same muscle at decreasing
+// pickup.
+var emgGain = [MaxChannels]float64{1.00, 0.82, 0.66}
+
+// synthesizeEMG generates surface-EMG-like activity: band-limited noise
+// under a burst-activation envelope. Bursts arrive at EventRateHz on
+// average with jittered gaps; a PathologicalFrac share of them are
+// anomalous — markedly stronger and longer (spasm-like co-contraction) —
+// and are the record's counted pathological events. The interference
+// pattern itself is independent white noise per channel shaped by a
+// first-difference high-pass and a two-stage leaky-integrator low-pass,
+// the standard cheap surrogate for the 20-150 Hz surface-EMG band.
+func synthesizeEMG(cfg Config, duration float64) (*Source, error) {
+	n := int(duration * cfg.SampleRateHz)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := &Source{}
+
+	// Burst schedule and envelope, shared by every channel: activation is
+	// a property of the muscle, not of the electrode.
+	env := make([]float64, n)
+	meanGap := 1 / cfg.EventRateHz
+	t := 0.4 * meanGap
+	for t < duration {
+		anomalous := rng.Float64() < cfg.PathologicalFrac
+		burst := 0.28 + 0.22*rng.Float64() // seconds of activation
+		amp := 0.55 + 0.35*rng.Float64()   // relative contraction strength
+		if anomalous {
+			amp *= 2.1
+			burst *= 1.6
+			src.Events++
+		}
+		src.Annotations = append(src.Annotations, Annotation{
+			At:           int(t * cfg.SampleRateHz),
+			Onset:        int(t * cfg.SampleRateHz),
+			Offset:       int((t + burst) * cfg.SampleRateHz),
+			Pathological: anomalous,
+		})
+		// Raised-cosine ramps avoid spectral splatter at the burst edges.
+		lo := int(t * cfg.SampleRateHz)
+		hi := int((t + burst) * cfg.SampleRateHz)
+		ramp := int(0.05 * cfg.SampleRateHz)
+		if ramp < 1 {
+			ramp = 1
+		}
+		for i := lo; i <= hi && i < n; i++ {
+			if i < 0 {
+				continue
+			}
+			w := 1.0
+			if d := i - lo; d < ramp {
+				w = 0.5 * (1 - math.Cos(math.Pi*float64(d)/float64(ramp)))
+			}
+			if d := hi - i; d < ramp {
+				w2 := 0.5 * (1 - math.Cos(math.Pi*float64(d)/float64(ramp)))
+				if w2 < w {
+					w = w2
+				}
+			}
+			if v := amp * w; v > env[i] {
+				env[i] = v
+			}
+		}
+		gap := meanGap * (1 + 0.35*rng.NormFloat64())
+		if gap < 0.3*meanGap {
+			gap = 0.3 * meanGap
+		}
+		t += burst + gap
+	}
+
+	// Per-channel interference pattern: independent noise generators keep
+	// channels decorrelated (and channel content independent of how many
+	// channels a caller consumes).
+	for ch := 0; ch < MaxChannels; ch++ {
+		chRng := rand.New(rand.NewSource(cfg.Seed ^ int64(ch+1)*0x9E3779B9))
+		tr := make([]int16, n)
+		var prev, s1, s2 float64
+		for i := 0; i < n; i++ {
+			x := chRng.NormFloat64()
+			hp := x - prev // first-difference high-pass
+			prev = x
+			s1 += 0.45 * (hp - s1) // two-stage leaky low-pass
+			s2 += 0.45 * (s1 - s2)
+			v := cfg.Amplitude*emgGain[ch]*env[i]*s2 + cfg.NoiseAmp*chRng.NormFloat64()
+			tr[i] = clamp16(v)
+		}
+		src.Traces[ch] = tr
+	}
+	return src, nil
+}

@@ -1,0 +1,118 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+)
+
+func init() {
+	Register(KindPPG, synthesizePPG,
+		Config{SampleRateHz: 125, EventRateHz: 1.25, Amplitude: 1100, NoiseAmp: 18})
+}
+
+// ppgGain and ppgDelayS model three optical sites (or wavelengths) with
+// decreasing perfusion signal and increasing pulse-transit delay.
+var (
+	ppgGain   = [MaxChannels]float64{1.00, 0.85, 0.70}
+	ppgDelayS = [MaxChannels]float64{0, 0.012, 0.024}
+)
+
+// ppgWave is one Gaussian component of the pulse waveform, relative to the
+// pulse foot: the systolic upstroke peak and the reflected diastolic wave
+// whose separation forms the dicrotic notch.
+type ppgWave struct {
+	amp, center, sigma float64
+}
+
+var ppgWaves = []ppgWave{
+	{amp: 1.00, center: 0.13, sigma: 0.055}, // systolic peak
+	{amp: 0.34, center: 0.40, sigma: 0.075}, // diastolic (reflected) wave
+}
+
+// synthesizePPG generates photoplethysmogram-like pulses at EventRateHz
+// with mild rate jitter, respiration-coupled baseline wander, and — for a
+// PathologicalFrac share of pulses — motion artifacts: large slow
+// excursions swamping the pulse, the dominant failure mode of wearable PPG.
+// Motion-corrupted pulses are the record's counted pathological events.
+func synthesizePPG(cfg Config, duration float64) (*Source, error) {
+	n := int(duration * cfg.SampleRateHz)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := &Source{}
+
+	// Pulse schedule.
+	meanPP := 1 / cfg.EventRateHz
+	var feet []float64
+	var artifact []float64 // artifact amplitude per pulse, 0 = clean
+	t := 0.3 * meanPP
+	for t < duration {
+		feet = append(feet, t)
+		a := 0.0
+		if rng.Float64() < cfg.PathologicalFrac {
+			// Signed slow excursion, 1.5x..2.5x the pulse amplitude.
+			a = (1.5 + rng.Float64()) * cfg.Amplitude
+			if rng.Float64() < 0.5 {
+				a = -a
+			}
+			src.Events++
+		}
+		artifact = append(artifact, a)
+		src.Annotations = append(src.Annotations, Annotation{
+			At:           int(t * cfg.SampleRateHz),
+			Onset:        int(t * cfg.SampleRateHz),
+			Offset:       int((t + 0.65) * cfg.SampleRateHz), // past the diastolic wave's support
+			Pathological: a != 0,
+		})
+		t += meanPP * (1 + 0.03*rng.NormFloat64())
+	}
+
+	// Accumulate per channel in float, then quantize with per-channel
+	// noise. Channels see the same pulses through site gain and transit
+	// delay; motion shakes every site alike (it moves the whole limb).
+	for ch := 0; ch < MaxChannels; ch++ {
+		acc := make([]float64, n)
+		for pi, ft := range feet {
+			foot := ft + ppgDelayS[ch]
+			for _, w := range ppgWaves {
+				amp := w.amp * cfg.Amplitude * ppgGain[ch]
+				lo := int((foot + w.center - 4*w.sigma) * cfg.SampleRateHz)
+				hi := int((foot + w.center + 4*w.sigma) * cfg.SampleRateHz)
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= n {
+					hi = n - 1
+				}
+				for i := lo; i <= hi; i++ {
+					ts := float64(i)/cfg.SampleRateHz - (foot + w.center)
+					acc[i] += amp * math.Exp(-ts*ts/(2*w.sigma*w.sigma))
+				}
+			}
+			if a := artifact[pi]; a != 0 {
+				const sigma = 0.25 // seconds: motion is slow vs the pulse
+				center := ft + 0.2
+				lo := int((center - 3*sigma) * cfg.SampleRateHz)
+				hi := int((center + 3*sigma) * cfg.SampleRateHz)
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= n {
+					hi = n - 1
+				}
+				for i := lo; i <= hi; i++ {
+					ts := float64(i)/cfg.SampleRateHz - center
+					acc[i] += a * math.Exp(-ts*ts/(2*sigma*sigma))
+				}
+			}
+		}
+		chRng := rand.New(rand.NewSource(cfg.Seed ^ int64(ch+1)*0x6A09E667))
+		tr := make([]int16, n)
+		for i := 0; i < n; i++ {
+			ts := float64(i) / cfg.SampleRateHz
+			// Perfusion baseline with respiration-coupled wander.
+			base := cfg.Amplitude * ppgGain[ch] * (0.25 + 0.06*math.Sin(2*math.Pi*0.24*ts))
+			tr[i] = clamp16(acc[i] + base + cfg.NoiseAmp*chRng.NormFloat64())
+		}
+		src.Traces[ch] = tr
+	}
+	return src, nil
+}
