@@ -1,11 +1,17 @@
 // Command wbsn-bench regenerates the paper's evaluation artifacts — Table I,
 // Figure 6 and Figure 7 — and, with -scenario, solves and measures the
 // operating-point grid of declarative scenario files (EMG, PPG, multi-rate
-// mixes) through the same parallel sweep engine.
+// mixes) through the same parallel sweep engine. All experiments share one
+// checkpointable Session: -checkpoint persists solved operating points and
+// probe demands across invocations (re-runs skip the operating-point search
+// and print byte-identical results), and -format json emits the
+// operating-point tables as one JSON object per grid point for tracking
+// bench trajectories across commits.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -13,16 +19,89 @@ import (
 
 	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/exp"
 	"repro/internal/power"
 	"repro/internal/scenario"
 )
 
+// bench bundles the run-wide state: the shared sweep engine (and through it
+// the session), the output mode, and the JSON rows accumulated across
+// experiments.
+type bench struct {
+	sweep      *exp.Sweep
+	format     string
+	checkpoint string
+	jsonRows   []exp.PointJSON
+}
+
+// fail saves whatever the session solved so far (a failing grid must not
+// forfeit its finished points on the next attempt), reports the error and
+// exits.
+func (b *bench) fail(prefix string, err error) {
+	b.saveCheckpoint()
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
+	os.Exit(1)
+}
+
+func (b *bench) saveCheckpoint() {
+	if b.checkpoint == "" {
+		return
+	}
+	if err := b.sweep.Session.SaveCheckpoint(b.checkpoint); err != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		return
+	}
+	solved, demands := b.sweep.Session.CheckpointSize()
+	fmt.Fprintf(os.Stderr, "checkpoint: wrote %s (%d solved points, %d probe demands)\n",
+		b.checkpoint, solved, demands)
+}
+
+func (b *bench) loadCheckpoint() {
+	if b.checkpoint == "" {
+		return
+	}
+	if _, err := os.Stat(b.checkpoint); errors.Is(err, os.ErrNotExist) {
+		return
+	}
+	if err := b.sweep.Session.LoadCheckpoint(b.checkpoint); err != nil {
+		// Exit without the usual partial-progress save: nothing was loaded,
+		// so saving would overwrite the (corrupt or foreign-versioned, but
+		// possibly recoverable) file with an empty session.
+		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		os.Exit(1)
+	}
+	solved, demands := b.sweep.Session.CheckpointSize()
+	fmt.Fprintf(os.Stderr, "checkpoint: loaded %s (%d solved points, %d probe demands)\n",
+		b.checkpoint, solved, demands)
+}
+
+// emit routes one solved grid to the selected output: a rendered table now,
+// or JSON rows flushed at the end of the run.
+func (b *bench) emit(rows []exp.PointJSON, table func()) {
+	if b.format == "json" {
+		b.jsonRows = append(b.jsonRows, rows...)
+		return
+	}
+	table()
+}
+
+func (b *bench) flushJSON() {
+	if b.format != "json" {
+		return
+	}
+	out, err := exp.MarshalPoints(b.jsonRows)
+	if err != nil {
+		b.fail("json", err)
+	}
+	os.Stdout.Write(out)
+}
+
 // runScenario solves and measures one scenario file's (app x arch) grid and
 // prints its operating-point table. Results are collected by grid index, so
 // the output is byte-identical for any -jobs value. applyFlags layers the
 // explicitly-set command-line flags over the scenario's options.
-func runScenario(ctx context.Context, sweep *exp.Sweep, path string, applyFlags func(*exp.Options)) error {
+func (b *bench) runScenario(ctx context.Context, path string, applyFlags func(*exp.Options)) error {
 	scn, err := scenario.Load(path)
 	if err != nil {
 		return err
@@ -30,17 +109,19 @@ func runScenario(ctx context.Context, sweep *exp.Sweep, path string, applyFlags 
 	opts := scn.Options()
 	applyFlags(&opts)
 	points := scn.Points(opts)
-	ms, err := sweep.Run(ctx, points)
+	ms, err := b.sweep.Run(ctx, points)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== scenario %s: %s @ %g Hz, %.1fs simulated ==\n",
-		scn.Name, scn.Signal.Kind, scn.Signal.SampleRateHz, opts.Duration)
-	if scn.Description != "" {
-		fmt.Printf("   %s\n", scn.Description)
-	}
-	fmt.Print(exp.FormatPoints(points, ms))
-	fmt.Println()
+	b.emit(exp.JSONPoints("scenario", points, ms), func() {
+		fmt.Printf("== scenario %s: %s @ %g Hz, %.1fs simulated ==\n",
+			scn.Name, scn.Signal.Kind, scn.Signal.SampleRateHz, opts.Duration)
+		if scn.Description != "" {
+			fmt.Printf("   %s\n", scn.Description)
+		}
+		fmt.Print(exp.FormatPoints(points, ms))
+		fmt.Println()
+	})
 	return nil
 }
 
@@ -54,19 +135,27 @@ func main() {
 	exact := flag.Bool("exact", false, "disable idle fast-forward; simulate every cycle (bit-identical results, slower)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel sweep workers (results are identical for any value; 1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress per-point progress on stderr")
+	format := flag.String("format", "table", "output format: table (rendered) or json (one object per grid point)")
+	checkpoint := flag.String("checkpoint", "", "session checkpoint file: loaded when present, rewritten after the run; re-runs reuse solved operating points (bit-identical results)")
 	flag.Parse()
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want table or json)\n", *format)
+		os.Exit(1)
+	}
 
 	opts := exp.Options{Duration: *duration, ProbeDuration: *probe, PathoFrac: *patho, Seed: *seed, Exact: *exact}
 	params := power.DefaultParams()
 	ctx := context.Background()
 
-	// One engine across all experiments: the memoized signal cache is
-	// shared, so records reused between Table I, Figure 6, Figure 7 and
-	// the scenario grids are synthesized once.
-	sweep := exp.NewSweep(*jobs, params)
+	// One engine across all experiments: the session's memoized signal
+	// cache, built images, probe runs and solved points are shared, so work
+	// reused between Table I, Figure 6, Figure 7 and the scenario grids
+	// happens once.
+	b := &bench{sweep: exp.NewSweep(*jobs, params), format: *format, checkpoint: *checkpoint}
 	if !*quiet {
-		sweep.Progress = exp.ProgressPrinter(os.Stderr)
+		b.sweep.Progress = exp.ProgressPrinter(os.Stderr)
 	}
+	b.loadCheckpoint()
 
 	if *scenarios != "" {
 		// Explicitly-set flags override the scenario files' values (the
@@ -89,11 +178,12 @@ func main() {
 			}
 		}
 		for _, path := range strings.Split(*scenarios, ",") {
-			if err := runScenario(ctx, sweep, strings.TrimSpace(path), applyFlags); err != nil {
-				fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
-				os.Exit(1)
+			if err := b.runScenario(ctx, strings.TrimSpace(path), applyFlags); err != nil {
+				b.fail("scenario", err)
 			}
 		}
+		b.flushJSON()
+		b.saveCheckpoint()
 		return
 	}
 
@@ -102,38 +192,48 @@ func main() {
 			return
 		}
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			b.fail(name, err)
 		}
 	}
 	run("table1", func() error {
-		rows, err := sweep.TableI(ctx, opts)
+		points := exp.TableIGrid(apps.Names, opts)
+		ms, err := b.sweep.Run(ctx, points)
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Table I: single-core (SC) vs multi-core (MC) executions ==")
-		fmt.Print(exp.FormatTableI(rows))
-		fmt.Println()
+		b.emit(exp.JSONPoints("table1", points, ms), func() {
+			fmt.Println("== Table I: single-core (SC) vs multi-core (MC) executions ==")
+			fmt.Print(exp.FormatTableI(exp.TableIRows(apps.Names, ms)))
+			fmt.Println()
+		})
 		return nil
 	})
 	run("fig6", func() error {
-		bars, err := sweep.Figure6(ctx, opts)
+		points := exp.Fig6Grid(opts)
+		ms, err := b.sweep.Run(ctx, points)
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Figure 6: power decomposition (SC, MC no-sync, MC proposed) ==")
-		fmt.Print(exp.FormatFigure6(bars))
-		fmt.Println()
+		b.emit(exp.JSONPoints("fig6", points, ms), func() {
+			fmt.Println("== Figure 6: power decomposition (SC, MC no-sync, MC proposed) ==")
+			fmt.Print(exp.FormatFigure6(exp.Fig6BarsOf(points, ms)))
+			fmt.Println()
+		})
 		return nil
 	})
 	run("fig7", func() error {
-		pts, err := sweep.Figure7(ctx, opts)
+		points := exp.Fig7Grid(opts)
+		ms, err := b.sweep.Run(ctx, points)
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Figure 7: RP-CLASS power vs pathological-beat share ==")
-		fmt.Print(exp.FormatFigure7(pts))
-		fmt.Println()
+		b.emit(exp.JSONPoints("fig7", points, ms), func() {
+			fmt.Println("== Figure 7: RP-CLASS power vs pathological-beat share ==")
+			fmt.Print(exp.FormatFigure7(exp.Fig7PointsOf(ms)))
+			fmt.Println()
+		})
 		return nil
 	})
+	b.flushJSON()
+	b.saveCheckpoint()
 }

@@ -6,24 +6,96 @@
 // parallel sweep engine. With -scenario the input signal (kind, rates,
 // per-channel divisors, seed, pathological share) and the default
 // application and duration come from a declarative scenario file instead of
-// the ECG flags.
+// the ECG flags. With -checkpoint the platform state is dumped at the end of
+// the run and a later invocation with the same configuration resumes it,
+// continuing the simulation exactly where it stopped (in -sweep mode the
+// flag instead persists the session's solved operating points).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/exp"
+	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/scenario"
 	"repro/internal/signal"
 	"repro/internal/trace"
 )
+
+// checkpointMeta assembles the identity a single-run checkpoint must match
+// to be resumed: the snapshot alone cannot prove it belongs to this program
+// image and input record, so the full configuration is recorded beside it
+// and compared field by field on resume.
+func checkpointMeta(app string, arch power.Arch, clockHz, voltageV float64, exact bool, sig *signal.Source) map[string]string {
+	meta := map[string]string{
+		"app":       app,
+		"arch":      arch.String(),
+		"clock_hz":  fmt.Sprintf("%v", clockHz),
+		"voltage_v": fmt.Sprintf("%v", voltageV),
+		"exact":     fmt.Sprintf("%v", exact),
+		"signal":    fmt.Sprintf("%+v", sig.Cfg),
+	}
+	for ch := 0; ch < signal.MaxChannels; ch++ {
+		// Trace lengths pin the synthesized duration: a record of a
+		// different length wraps differently, so resuming under it would
+		// silently diverge from an uninterrupted run.
+		meta[fmt.Sprintf("trace_len%d", ch)] = fmt.Sprintf("%d", len(sig.Traces[ch]))
+	}
+	return meta
+}
+
+// resumeCheckpoint loads path (if present) and restores it onto p after
+// validating that every metadata field matches the current invocation.
+func resumeCheckpoint(path string, meta map[string]string, p *platform.Platform) (resumed bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	file, err := platform.ReadSnapshotFile(f)
+	if err != nil {
+		return false, err
+	}
+	for k, want := range meta {
+		if got := file.Meta[k]; got != want {
+			return false, fmt.Errorf("checkpoint %s was taken under %s=%s, this invocation has %s=%s; rerun with matching flags or remove the file",
+				path, k, got, k, want)
+		}
+	}
+	if err := p.Restore(file.Snap); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// writeCheckpoint dumps the platform state atomically.
+func writeCheckpoint(path string, meta map[string]string, p *platform.Platform) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := platform.WriteSnapshotFile(tmp, &platform.SnapshotFile{Meta: meta, Snap: p.Snapshot()}); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
 
 func main() {
 	app := flag.String("app", apps.MF3L, "application: 3l-mf, 3l-mmd, rp-class")
@@ -40,6 +112,8 @@ func main() {
 	sweepArchs := flag.Bool("sweep", false, "solve and measure the app on sc, mc-nosync and mc (ignores -arch/-clock-mhz/-voltage; incompatible with -trace/-dump-mapping)")
 	probe := flag.Float64("probe", 2.5, "simulated seconds per operating-point probe (-sweep)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel sweep workers (-sweep; results are identical for any value)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: resume the simulation from it when present (same flags required) and rewrite it after -duration more seconds; with -sweep, persists solved operating points instead")
+	record := flag.Float64("record", 0, "synthesized record length in seconds (0 = -duration+2); generators are not prefix-stable across lengths, so checkpointed runs and any run they should be compared against must pin the same -record")
 	flag.Parse()
 
 	// Explicitly-set flags override the scenario file's values.
@@ -80,7 +154,7 @@ func main() {
 			Duration: *duration, ProbeDuration: *probe,
 			PathoFrac: base.PathologicalFrac, Seed: base.Seed,
 			Source: base, Scenario: scenarioName, Exact: *exact,
-		}, *jobs)
+		}, *jobs, *checkpoint)
 		return
 	}
 
@@ -112,7 +186,11 @@ func main() {
 		return
 	}
 
-	sig, err := signal.Synthesize(base, *duration+2)
+	recordS := *record
+	if recordS == 0 {
+		recordS = *duration + 2
+	}
+	sig, err := signal.Synthesize(base, recordS)
 	if err != nil {
 		fatal(err)
 	}
@@ -121,6 +199,18 @@ func main() {
 		fatal(err)
 	}
 	p.SetExact(*exact)
+	var meta map[string]string
+	if *checkpoint != "" {
+		meta = checkpointMeta(*app, arch, *clock*1e6, *voltage, *exact, sig)
+		resumed, err := resumeCheckpoint(*checkpoint, meta, p)
+		if err != nil {
+			fatal(err)
+		}
+		if resumed {
+			fmt.Fprintf(os.Stderr, "checkpoint: resumed %s at cycle %d (%.2fs simulated)\n",
+				*checkpoint, p.Cycle(), float64(p.Cycle())/(*clock*1e6))
+		}
+	}
 	var rec *trace.Recorder
 	if *traceN > 0 {
 		rec = trace.NewRecorder(*traceN)
@@ -129,13 +219,22 @@ func main() {
 	if err := p.RunSeconds(*duration); err != nil {
 		fatal(err)
 	}
+	if *checkpoint != "" {
+		if err := writeCheckpoint(*checkpoint, meta, p); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint: wrote %s at cycle %d\n", *checkpoint, p.Cycle())
+	}
 	c := p.Counters()
 	label := *app
 	if scenarioName != "" {
 		label = scenarioName + ":" + label
 	}
+	// Simulated time is derived from the cycle count, so a resumed run
+	// reports its cumulative duration (identical output to one
+	// uninterrupted run of the total length).
 	fmt.Printf("%s on %s at %.2f MHz / %.2f V for %.1fs simulated (%s @ %g Hz)\n",
-		label, arch, *clock, *voltage, *duration, sig.Kind(), sig.BaseRateHz())
+		label, arch, *clock, *voltage, float64(p.Cycle())/(*clock*1e6), sig.Kind(), sig.BaseRateHz())
 	fmt.Printf("  cycles %d, instructions %d, ADC samples %d, overruns %d\n", c.Cycles, c.Instrs, c.ADCSamples, p.Overruns())
 	fmt.Printf("  IM broadcast %.2f%%, DM broadcast %.2f%%, run-time overhead %.2f%%\n",
 		c.IMBroadcastPct(), c.DMBroadcastPct(), c.RuntimeOverheadPct())
@@ -169,15 +268,32 @@ func main() {
 
 // runSweep solves and measures one application on every architecture variant
 // (exp.Fig6Archs: SC first, so the "vs SC" column normalizes against ms[0])
-// through the parallel sweep engine and prints the comparison.
-func runSweep(app string, opts exp.Options, jobs int) {
+// through the parallel sweep engine and prints the comparison. A checkpoint
+// file, when given, persists the session's solved operating points across
+// invocations (the platform-snapshot form of -checkpoint needs a single
+// fixed configuration, which a sweep by definition does not have).
+func runSweep(app string, opts exp.Options, jobs int, checkpoint string) {
 	s := exp.NewSweep(jobs, power.DefaultParams())
 	s.Progress = exp.ProgressPrinter(os.Stderr)
+	if checkpoint != "" {
+		if _, err := os.Stat(checkpoint); err == nil {
+			if err := s.Session.LoadCheckpoint(checkpoint); err != nil {
+				fatal(err)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fatal(err)
+		}
+	}
 	points := make([]exp.Point, 0, len(exp.Fig6Archs))
 	for _, arch := range exp.Fig6Archs {
 		points = append(points, exp.Point{App: app, Arch: arch, Opts: opts})
 	}
 	ms, err := s.Run(context.Background(), points)
+	if checkpoint != "" {
+		if serr := s.Session.SaveCheckpoint(checkpoint); serr != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", serr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}

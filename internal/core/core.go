@@ -241,6 +241,72 @@ func (s *Synchronizer) FastForward(cycle uint64) {
 	s.cycle = cycle
 }
 
+// SyncState is the deep-copied mutable state of a Synchronizer, captured by
+// Snapshot and reinstated by Restore. Fields are exported so platform
+// snapshots serialize through encoding/gob.
+type SyncState struct {
+	Points     []Point
+	State      [isa.MaxCores]CoreState
+	WakeAt     [isa.MaxCores]uint64
+	Token      [isa.MaxCores]bool
+	IRQSub     [isa.MaxCores]uint16
+	IRQPend    [isa.MaxCores]uint16
+	Cycle      uint64
+	Violations []string
+}
+
+// Snapshot deep-copies the synchronizer's mutable state. Only valid at a
+// cycle boundary: pending operations are posted and committed within one
+// platform cycle, so a non-empty pending list means the caller is mid-cycle
+// and the snapshot would be unreplayable.
+func (s *Synchronizer) Snapshot() SyncState {
+	if len(s.pending) > 0 {
+		panic("core: Snapshot with pending synchronization operations")
+	}
+	st := SyncState{
+		Points:  append([]Point(nil), s.points...),
+		State:   s.state,
+		WakeAt:  s.wakeAt,
+		Token:   s.token,
+		IRQSub:  s.irqSub,
+		IRQPend: s.irqPend,
+		Cycle:   s.cycle,
+	}
+	if len(s.violations) > 0 {
+		st.Violations = append([]string(nil), s.violations...)
+	}
+	return st
+}
+
+// Restore reinstates a previously captured state. The synchronizer must have
+// been constructed with the same core and point counts the state was captured
+// under.
+func (s *Synchronizer) Restore(st SyncState) error {
+	if len(st.Points) != s.npoints {
+		return fmt.Errorf("core: restoring %d sync points onto a synchronizer with %d", len(st.Points), s.npoints)
+	}
+	for c := 0; c < isa.MaxCores; c++ {
+		if (st.State[c] == StateOff) != (c >= s.nc) {
+			return fmt.Errorf("core: snapshot core-count mismatch at core %d (have %d cores)", c, s.nc)
+		}
+	}
+	if len(s.pending) > 0 {
+		panic("core: Restore with pending synchronization operations")
+	}
+	copy(s.points, st.Points)
+	s.state = st.State
+	s.wakeAt = st.WakeAt
+	s.token = st.Token
+	s.irqSub = st.IRQSub
+	s.irqPend = st.IRQPend
+	s.cycle = st.Cycle
+	s.violations = nil
+	if len(st.Violations) > 0 {
+		s.violations = append([]string(nil), st.Violations...)
+	}
+	return nil
+}
+
 // SetSubscription sets core c's interrupt-source mask (MMIO RegIRQSub).
 func (s *Synchronizer) SetSubscription(c int, mask uint16) { s.irqSub[c] = mask }
 

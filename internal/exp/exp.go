@@ -122,15 +122,28 @@ type OperatingPoint struct {
 // independent (idle cores are clock-gated), so the demand is estimated from
 // the busiest core at a generous clock and verified at the candidate,
 // escalating on real-time violations.
+//
+// The search runs on a throwaway Session: candidate frequencies fork one
+// pristine platform instead of rebuilding the application per candidate, and
+// failing candidates abort at their first real-time violation. Callers
+// solving more than one point should hold their own Session — it
+// additionally shares probe runs and built images across solves, and its
+// probe-boundary snapshots make the following Measure calls continue the
+// verified run (see Session).
 func SolveOperatingPoint(app string, arch power.Arch, sig *signal.Source, opts Options) (OperatingPoint, error) {
-	return solveOperatingPoint(context.Background(), app, arch, sig, opts)
+	return NewSession(nil).SolveOperatingPoint(context.Background(), app, arch, sig, opts)
 }
 
-// solveOperatingPoint is the context-aware search behind SolveOperatingPoint.
-// Every simulated run is preceded by a cancellation check, so a sweep
-// aborting on another point's failure waits for at most one in-flight probe
-// or verification run, not the whole escalation loop.
-func solveOperatingPoint(ctx context.Context, app string, arch power.Arch, sig *signal.Source, opts Options) (OperatingPoint, error) {
+// SolveOperatingPointFromScratch is the reference implementation of the
+// operating-point search: every run on a freshly built platform, every
+// verification over its full probe window, nothing shared or snapshotted.
+// It is retained (and kept in lock-step with Session.SolveOperatingPoint)
+// as the bit-equivalence baseline for the session golden tests and the
+// checkpoint benchmark; production callers go through Session. Every
+// simulated run is preceded by a cancellation check, so a caller aborting
+// on another point's failure waits for at most one in-flight probe or
+// verification run, not the whole escalation loop.
+func SolveOperatingPointFromScratch(ctx context.Context, app string, arch power.Arch, sig *signal.Source, opts Options) (OperatingPoint, error) {
 	probeSig, err := opts.probeRecord(app)
 	if err != nil {
 		return OperatingPoint{}, err
@@ -271,7 +284,9 @@ type Measurement struct {
 }
 
 // Measure runs app/arch at the given operating point for opts.Duration and
-// computes the power report.
+// computes the power report, building everything from scratch. Callers
+// measuring points they just solved should use Session.Measure, which
+// continues the solve's verified probe run (bit-identical, less simulation).
 func Measure(app string, arch power.Arch, op OperatingPoint, sig *signal.Source, opts Options, params *power.Params) (*Measurement, error) {
 	v, err := apps.Build(app, arch)
 	if err != nil {
@@ -285,6 +300,12 @@ func Measure(app string, arch power.Arch, op OperatingPoint, sig *signal.Source,
 	if err := p.RunSeconds(opts.Duration); err != nil {
 		return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
 	}
+	return finishMeasurement(v, p, app, arch, op, params)
+}
+
+// finishMeasurement applies the real-time acceptance checks and assembles
+// the Measurement; shared by the from-scratch Measure and Session.Measure.
+func finishMeasurement(v *apps.Variant, p *platform.Platform, app string, arch power.Arch, op OperatingPoint, params *power.Params) (*Measurement, error) {
 	if err := checkRealTime(p); err != nil {
 		return nil, fmt.Errorf("exp: %s/%v at %.2f MHz: %w", app, arch, op.FreqHz/1e6, err)
 	}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// PointJSON is the machine-readable form of one solved and measured grid
+// point: the operating point plus the headline metrics of the paper's
+// tables. wbsn-bench -format json emits one object per grid point, in grid
+// order (deterministic for any worker count), so bench trajectories can be
+// diffed and tracked across commits.
+type PointJSON struct {
+	Experiment string  `json:"experiment"`
+	Scenario   string  `json:"scenario,omitempty"`
+	App        string  `json:"app"`
+	Arch       string  `json:"arch"`
+	PathoPct   float64 `json:"patho_pct"`
+
+	FreqMHz  float64 `json:"freq_mhz"`
+	VoltageV float64 `json:"voltage_v"`
+	Cores    int     `json:"cores"`
+
+	PowerUW   float64 `json:"power_uw"`
+	DynamicUW float64 `json:"dynamic_uw"`
+	LeakageUW float64 `json:"leakage_uw"`
+
+	IMBroadcastPct     float64 `json:"im_broadcast_pct"`
+	DMBroadcastPct     float64 `json:"dm_broadcast_pct"`
+	RuntimeOverheadPct float64 `json:"runtime_overhead_pct"`
+	CodeOverheadPct    float64 `json:"code_overhead_pct"`
+
+	ActiveIMBanks int    `json:"active_im_banks"`
+	ActiveDMBanks int    `json:"active_dm_banks"`
+	Cycles        uint64 `json:"cycles"`
+	Instrs        uint64 `json:"instructions"`
+	ADCSamples    uint64 `json:"adc_samples"`
+}
+
+// JSONPoints converts a solved grid into its machine-readable rows, in grid
+// order. experiment labels which table the rows came from (table1, fig6,
+// fig7, scenario).
+func JSONPoints(experiment string, points []Point, ms []*Measurement) []PointJSON {
+	out := make([]PointJSON, 0, len(ms))
+	for i, m := range ms {
+		pt := points[i]
+		out = append(out, PointJSON{
+			Experiment: experiment,
+			Scenario:   pt.Opts.Scenario,
+			App:        pt.App,
+			Arch:       pt.Arch.String(),
+			PathoPct:   pt.Opts.PathoFrac * 100,
+
+			FreqMHz:  m.Op.FreqHz / 1e6,
+			VoltageV: m.Op.VoltageV,
+			Cores:    m.Cores,
+
+			PowerUW:   m.Report.TotalUW,
+			DynamicUW: m.Report.TotalDynamicUW,
+			LeakageUW: m.Report.TotalLeakUW,
+
+			IMBroadcastPct:     m.Counters.IMBroadcastPct(),
+			DMBroadcastPct:     m.Counters.DMBroadcastPct(),
+			RuntimeOverheadPct: m.Counters.RuntimeOverheadPct(),
+			CodeOverheadPct:    m.CodeOverheadPct,
+
+			ActiveIMBanks: m.ActiveIMBanks,
+			ActiveDMBanks: m.ActiveDMBanks,
+			Cycles:        m.Counters.Cycles,
+			Instrs:        m.Counters.Instrs,
+			ADCSamples:    m.Counters.ADCSamples,
+		})
+	}
+	return out
+}
+
+// MarshalPoints renders the rows as an indented JSON array with a trailing
+// newline, ready for stdout.
+func MarshalPoints(rows []PointJSON) ([]byte, error) {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("exp: encoding points: %w", err)
+	}
+	return append(b, '\n'), nil
+}

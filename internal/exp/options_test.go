@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/power"
+	"repro/internal/signal"
+)
+
+// TestRecordUnregisteredKind: a source configuration naming a kind no
+// synthesizer was registered for must fail loudly, for both the measured
+// record and the worst-case probe record.
+func TestRecordUnregisteredKind(t *testing.T) {
+	opts := tinyOpts()
+	opts.Source = signal.Config{Kind: "eeg"}
+	if _, err := opts.Record(apps.MF3L); err == nil || !strings.Contains(err.Error(), `"eeg"`) {
+		t.Errorf("Record with unregistered kind: err = %v, want unknown-kind error naming it", err)
+	}
+	if _, err := opts.probeRecord(apps.MF3L); err == nil || !strings.Contains(err.Error(), `"eeg"`) {
+		t.Errorf("probeRecord with unregistered kind: err = %v, want unknown-kind error naming it", err)
+	}
+	// The session surfaces the same error instead of caching garbage.
+	if _, err := NewSession(nil).SolveOperatingPoint(context.Background(), apps.MF3L, power.MC, nil, opts); err == nil {
+		t.Error("session solve with unregistered kind must fail")
+	}
+}
+
+// TestRecordZeroDurationSynth: a non-positive synthesis window (the measured
+// and probe records synthesize duration+2 seconds, so durations <= -2 drive
+// the sample count to zero) must error instead of yielding an empty record
+// the ADC would reject later with a less actionable message.
+func TestRecordZeroDurationSynth(t *testing.T) {
+	opts := tinyOpts()
+	opts.Duration = -2
+	opts.ProbeDuration = -2
+	if _, err := opts.Record(apps.MF3L); err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Errorf("Record with zero synthesis window: err = %v, want non-positive-duration error", err)
+	}
+	if _, err := opts.probeRecord(apps.MF3L); err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Errorf("probeRecord with zero synthesis window: err = %v, want non-positive-duration error", err)
+	}
+}
+
+// TestRecordCacheIdentity: with a cache installed, repeated Record calls for
+// the same options return the very same memoized source, and the cached
+// record is bit-identical to an uncached synthesis. probeRecord must key
+// separately from Record (different seed and pathological share) yet share
+// its entries across calls.
+func TestRecordCacheIdentity(t *testing.T) {
+	opts := tinyOpts()
+	opts.Cache = signal.NewCache()
+
+	first, err := opts.Record(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := opts.Record(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Error("cache hit returned a different Source pointer")
+	}
+	if opts.Cache.Synths() != 1 {
+		t.Errorf("two Record calls synthesized %d records, want 1", opts.Cache.Synths())
+	}
+
+	uncached := opts
+	uncached.Cache = nil
+	cold, err := uncached.Record(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold == first {
+		t.Error("uncached synthesis returned the cached pointer")
+	}
+	for ch := range cold.Traces {
+		if len(cold.Traces[ch]) != len(first.Traces[ch]) {
+			t.Fatalf("channel %d: cached %d samples, uncached %d", ch, len(first.Traces[ch]), len(cold.Traces[ch]))
+		}
+		for i := range cold.Traces[ch] {
+			if cold.Traces[ch][i] != first.Traces[ch][i] {
+				t.Fatalf("channel %d sample %d: cache miss and hit diverge", ch, i)
+			}
+		}
+	}
+
+	probe1, err := opts.probeRecord(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe2, err := opts.probeRecord(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe1 != probe2 {
+		t.Error("probe record cache hit returned a different Source pointer")
+	}
+	if probe1 == first {
+		t.Error("probe record must not collide with the measured record's cache entry")
+	}
+	if probe1.Cfg.Seed != opts.Seed+101 {
+		t.Errorf("probe record seed = %d, want the offset %d", probe1.Cfg.Seed, opts.Seed+101)
+	}
+	// The worst-case pathological share survives only for apps whose
+	// behaviour depends on it (apps.SourceConfig zeroes it for the ECG
+	// conditioning benchmarks so they share one cached record).
+	rpProbe, err := opts.probeRecord(apps.RPClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpProbe.Cfg.PathologicalFrac != 1.0 {
+		t.Errorf("RP-CLASS probe record pathological share = %v, want the worst-case 1.0", rpProbe.Cfg.PathologicalFrac)
+	}
+}

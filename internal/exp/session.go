@@ -1,0 +1,623 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/signal"
+)
+
+// Session is the checkpointable experiment engine: every operating-point
+// solve and power measurement runs through one, and everything expensive a
+// grid of them shares is memoized on it — built application images, pristine
+// platform templates (forked per candidate frequency instead of
+// re-assembling, re-linking and re-loading the program), probe demand
+// estimates (MC and MC-nosync dimension against the same proposed-system
+// probe, so one simulation serves both), solved operating points, and the
+// probe-boundary platform snapshots that let a measurement continue the
+// verified probe run instead of re-simulating its warm-up window.
+//
+// Results are bit-identical to solving and measuring each point from
+// scratch: forking a pristine template equals building a fresh platform,
+// continuing a snapshot equals never having stopped (both pinned by
+// internal/platform's golden tests), and the remaining reuse is pure
+// memoization of deterministic computations. The session-vs-scratch golden
+// matrix in session_test.go enforces this across every benchmark,
+// architecture and bundled scenario.
+//
+// A Session is safe for concurrent use; the parallel sweep engine threads
+// one through its whole worker pool. Solved points and demand estimates can
+// be persisted across process invocations with SaveCheckpoint/LoadCheckpoint.
+type Session struct {
+	params *power.Params
+	cache  *signal.Cache
+
+	mu        sync.Mutex
+	variants  map[variantKey]*variantEntry
+	templates map[templateKey]*templateEntry
+	demands   map[string]*demandEntry
+	solved    map[string]*solveEntry
+	warm      map[warmKey]*platform.Snapshot
+
+	stats SessionStats
+}
+
+// SessionStats counts the work a session performed and the work its caches
+// saved, for progress reporting and the reuse assertions in tests.
+type SessionStats struct {
+	// Builds is the number of application images actually assembled/linked.
+	Builds uint64
+	// Forks is the number of platforms rehydrated from a template.
+	Forks uint64
+	// ProbeRuns is the number of demand-estimation simulations executed.
+	ProbeRuns uint64
+	// DemandHits is the number of demand estimates served from cache.
+	DemandHits uint64
+	// SolveHits is the number of solves served from the solved-point cache.
+	SolveHits uint64
+	// EarlyAborts is the number of candidate verifications cut short by a
+	// real-time violation before their full probe window.
+	EarlyAborts uint64
+	// WarmMeasures is the number of measurements that continued a verified
+	// probe-boundary snapshot instead of re-simulating its window.
+	WarmMeasures uint64
+}
+
+// NewSession returns an empty session calibrated by params (nil selects
+// power.DefaultParams()).
+func NewSession(params *power.Params) *Session {
+	if params == nil {
+		params = power.DefaultParams()
+	}
+	return &Session{
+		params:    params,
+		cache:     signal.NewCache(),
+		variants:  map[variantKey]*variantEntry{},
+		templates: map[templateKey]*templateEntry{},
+		demands:   map[string]*demandEntry{},
+		solved:    map[string]*solveEntry{},
+		warm:      map[warmKey]*platform.Snapshot{},
+	}
+}
+
+// Cache returns the session's signal cache, shared so callers (the sweep
+// engine, the CLIs) key their own synthesis through the same memoization.
+func (s *Session) Cache() *signal.Cache { return s.cache }
+
+// SetParams replaces the power calibration used by subsequent measurements
+// (solved operating points are frequency/voltage searches and do not depend
+// on it). The sweep engine calls this so a caller-assigned Sweep.Params
+// keeps calibrating reports, as it did before sessions existed.
+func (s *Session) SetParams(params *power.Params) {
+	if params == nil {
+		return
+	}
+	s.mu.Lock()
+	s.params = params
+	s.mu.Unlock()
+}
+
+// measureParams returns the current calibration.
+func (s *Session) measureParams() *power.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.params
+}
+
+// Stats returns a copy of the session's work counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Session) count(f func(*SessionStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// sourceKey identifies a synthesized record: generators are deterministic
+// pure functions of the normalized configuration, so the configuration plus
+// the per-channel trace lengths (records of different durations wrap
+// differently) pin the record bit-for-bit.
+type sourceKey struct {
+	Cfg              signal.Config
+	Len0, Len1, Len2 int
+}
+
+func keyOf(src *signal.Source) sourceKey {
+	return sourceKey{
+		Cfg:  src.Cfg,
+		Len0: len(src.Traces[0]),
+		Len1: len(src.Traces[1]),
+		Len2: len(src.Traces[2]),
+	}
+}
+
+type variantKey struct {
+	App  string
+	Arch power.Arch
+}
+
+type variantEntry struct {
+	once sync.Once
+	v    *apps.Variant
+	err  error
+}
+
+type templateKey struct {
+	VK  variantKey
+	Src sourceKey
+}
+
+type templateEntry struct {
+	once sync.Once
+	p    *platform.Platform
+	err  error
+}
+
+type demandEntry struct {
+	once   sync.Once
+	done   atomic.Bool // set after once ran; lets SaveCheckpoint read safely
+	demand float64
+	err    error
+}
+
+type solveEntry struct {
+	once sync.Once
+	done atomic.Bool
+	op   OperatingPoint
+	err  error
+}
+
+type warmKey struct {
+	VK            variantKey
+	Sig           sourceKey
+	FreqHz        float64
+	VoltageV      float64
+	ProbeDuration float64
+	Exact         bool
+}
+
+// variant returns the built (assembled, linked) application image for
+// (app, arch), building it at most once per session.
+func (s *Session) variant(app string, arch power.Arch) (*apps.Variant, error) {
+	k := variantKey{App: app, Arch: arch}
+	s.mu.Lock()
+	e, ok := s.variants[k]
+	if !ok {
+		e = &variantEntry{}
+		s.variants[k] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		s.count(func(st *SessionStats) { st.Builds++ })
+		e.v, e.err = apps.Build(app, arch)
+	})
+	return e.v, e.err
+}
+
+// template returns the session's pristine (never-run) platform for
+// (app, arch, record): the fork source for every candidate operating point.
+// Templates are built at the probe clock; forks override clock, voltage and
+// exactness. A template is never simulated, so concurrent forks — which only
+// read it — are safe.
+func (s *Session) template(app string, arch power.Arch, src *signal.Source) (*platform.Platform, error) {
+	v, err := s.variant(app, arch)
+	if err != nil {
+		return nil, err
+	}
+	k := templateKey{VK: variantKey{App: app, Arch: arch}, Src: keyOf(src)}
+	s.mu.Lock()
+	e, ok := s.templates[k]
+	if !ok {
+		e = &templateEntry{}
+		s.templates[k] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.p, e.err = v.NewPlatform(src, probeClockHz, 1.0)
+	})
+	return e.p, e.err
+}
+
+// fork rehydrates a template at an operating point.
+func (s *Session) fork(tmpl *platform.Platform, clockHz, voltageV float64, exact bool) (*platform.Platform, error) {
+	cfg := tmpl.Config()
+	cfg.ClockHz = clockHz
+	cfg.VoltageV = voltageV
+	cfg.Exact = exact
+	p, err := tmpl.Fork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.count(func(st *SessionStats) { st.Forks++ })
+	return p, nil
+}
+
+// withCache returns opts with the session's signal cache installed unless
+// the caller brought their own.
+func (s *Session) withCache(opts Options) Options {
+	if opts.Cache == nil {
+		opts.Cache = s.cache
+	}
+	return opts
+}
+
+// demandKeyString serializes the demand-cache identity (stable across
+// processes, so checkpoints can persist the map). The measured record's base
+// rate is part of it: the SC per-sample deadline peak is derived from it, so
+// two solves probing the same record but measuring differently-rated ones
+// must not share an estimate.
+func demandKeyString(app string, demandArch power.Arch, probe sourceKey, baseRateHz float64, opts Options) string {
+	return fmt.Sprintf("demand|%s|%v|%+v|rate=%v|probe=%v|exact=%v", app, demandArch, probe, baseRateHz, opts.ProbeDuration, opts.Exact)
+}
+
+// transient reports whether err is a context-cancellation outcome: a fact
+// about this call's context, not about the grid cell, so it must never be
+// memoized (a sweep's first-error cancellation would otherwise poison its
+// sibling cells for the session's lifetime).
+func transient(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// probeError marks a failure of the demand-estimation run itself. The probe
+// is shared between MC and MC-nosync, but the from-scratch reference labels
+// its errors with the *requested* architecture, so the session caches the
+// bare failure and each solve formats its own label (keeping error text in
+// lock-step with the reference for every requester).
+type probeError struct {
+	realTime bool // failed checkRealTime (vs. a simulation fault)
+	err      error
+}
+
+func (e *probeError) Error() string { return e.err.Error() }
+func (e *probeError) Unwrap() error { return e.err }
+
+// solveKeyString serializes the solved-point identity: everything the
+// escalation loop's outcome depends on.
+func solveKeyString(app string, arch power.Arch, sig, probe sourceKey, opts Options) string {
+	return fmt.Sprintf("solve|%s|%v|sig=%+v|probe=%+v|dur=%v|exact=%v", app, arch, sig, probe, opts.ProbeDuration, opts.Exact)
+}
+
+// SolveOperatingPoint finds the minimum real-time clock and sustaining
+// voltage for app on arch fed with sig, exactly as the package-level
+// SolveOperatingPoint does, but amortized through the session: the demand
+// probe simulates once per (app, demand architecture, record), every
+// candidate frequency runs on a Fork of one pristine template, failed
+// candidates abort at the first real-time violation instead of completing
+// their probe window (violations only accumulate, so the verdict — and
+// hence the solved point — is unchanged), and the verified probe run is
+// snapshotted at its boundary so a following Measure continues it.
+func (s *Session) SolveOperatingPoint(ctx context.Context, app string, arch power.Arch, sig *signal.Source, opts Options) (OperatingPoint, error) {
+	opts = s.withCache(opts)
+	probeSig, err := opts.probeRecord(app)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	key := solveKeyString(app, arch, keyOf(sig), keyOf(probeSig), opts)
+	s.mu.Lock()
+	e, ok := s.solved[key]
+	if !ok {
+		e = &solveEntry{}
+		s.solved[key] = e
+	}
+	s.mu.Unlock()
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		e.op, e.err = s.solve(ctx, app, arch, sig, probeSig, opts)
+		e.done.Store(true)
+	})
+	if !ran {
+		s.count(func(st *SessionStats) { st.SolveHits++ })
+	}
+	if transient(e.err) {
+		// Forget the entry: the cancellation belongs to the context that
+		// hit it, not to the cell; a later solve must simulate afresh.
+		s.mu.Lock()
+		if s.solved[key] == e {
+			delete(s.solved, key)
+		}
+		s.mu.Unlock()
+	}
+	return e.op, e.err
+}
+
+// demand estimates (or recalls) the frequency demand of app probed on
+// demandArch, margin applied — the seed of the escalation loop. baseRateHz
+// is the measured record's base sampling rate, which the SC per-sample
+// deadline peak is derived from (matching the from-scratch reference, which
+// uses the caller's record, not the probe record).
+func (s *Session) demand(ctx context.Context, app string, demandArch power.Arch, probeSig *signal.Source, baseRateHz float64, opts Options) (float64, error) {
+	key := demandKeyString(app, demandArch, keyOf(probeSig), baseRateHz, opts)
+	s.mu.Lock()
+	e, ok := s.demands[key]
+	if !ok {
+		e = &demandEntry{}
+		s.demands[key] = e
+	}
+	s.mu.Unlock()
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		e.demand, e.err = s.runProbe(ctx, app, demandArch, probeSig, baseRateHz, opts)
+		e.done.Store(true)
+	})
+	if !ran {
+		s.count(func(st *SessionStats) { st.DemandHits++ })
+	}
+	if transient(e.err) {
+		s.mu.Lock()
+		if s.demands[key] == e {
+			delete(s.demands, key)
+		}
+		s.mu.Unlock()
+	}
+	return e.demand, e.err
+}
+
+// runProbe executes the busy-cycle estimation run at the generous probe
+// clock, mirroring the from-scratch path bit for bit (the template fork
+// equals a fresh platform). Probe failures come back as *probeError so the
+// requesting solve can label them with its own architecture.
+func (s *Session) runProbe(ctx context.Context, app string, demandArch power.Arch, probeSig *signal.Source, baseRateHz float64, opts Options) (float64, error) {
+	v, err := s.variant(app, demandArch)
+	if err != nil {
+		return 0, err
+	}
+	tmpl, err := s.template(app, demandArch, probeSig)
+	if err != nil {
+		return 0, err
+	}
+	p, err := s.fork(tmpl, probeClockHz, 1.0, opts.Exact)
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.count(func(st *SessionStats) { st.ProbeRuns++ })
+	if err := p.RunSeconds(opts.ProbeDuration); err != nil {
+		return 0, &probeError{err: err}
+	}
+	if err := checkRealTime(p); err != nil {
+		return 0, &probeError{realTime: true, err: err}
+	}
+	var busiest uint64
+	for c := 0; c < v.Cores; c++ {
+		if b := p.CoreBusy(c); b > busiest {
+			busiest = b
+		}
+	}
+	demand := float64(busiest) / opts.ProbeDuration
+	if demandArch == power.SC {
+		// Sequential workloads carry the per-sample deadline on one core:
+		// the worst busy window within a sample period binds.
+		if peak := float64(p.MaxSampleBusy()) * baseRateHz; peak > demand {
+			demand = peak
+		}
+	}
+	return demand * freqMargin, nil
+}
+
+// solve runs the escalation loop on session state. The demand schedule, the
+// candidate sequence and every verification verdict match the from-scratch
+// reference exactly; only the work to reach them is amortized.
+func (s *Session) solve(ctx context.Context, app string, arch power.Arch, sig, probeSig *signal.Source, opts Options) (OperatingPoint, error) {
+	// Active waiting keeps cores busy at any frequency, so the no-sync
+	// variant's demand cannot be estimated from its own busy counters; the
+	// proposed system's demand seeds the search (see the from-scratch
+	// reference), which also means MC and MC-nosync share one probe run.
+	demandArch := arch
+	if arch == power.MCNoSync {
+		demandArch = power.MC
+	}
+	demand, err := s.demand(ctx, app, demandArch, probeSig, sig.BaseRateHz(), opts)
+	if err != nil {
+		var pe *probeError
+		if errors.As(err, &pe) {
+			// Label the shared probe's failure with the architecture this
+			// solve was asked for, exactly as the reference does.
+			if pe.realTime {
+				return OperatingPoint{}, fmt.Errorf("exp: %s/%v probe at %.0f Hz: %w", app, arch, probeClockHz, pe.err)
+			}
+			return OperatingPoint{}, fmt.Errorf("exp: %s/%v probe: %w", app, arch, pe.err)
+		}
+		return OperatingPoint{}, err
+	}
+
+	tmpl, err := s.template(app, arch, sig)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	vfs := power.DefaultVFS()
+	var lastFailedFreq float64
+	for try := 0; try < 12; try++ {
+		freq := power.ClampFreq(demand)
+		if freq == lastFailedFreq {
+			// The escalated demand is still below the platform's clock
+			// floor: the clamp pins the candidate at the frequency that
+			// just failed, and the simulator is deterministic, so skip the
+			// redundant re-verification and keep escalating until the
+			// clamp moves (consuming the try budget exactly as a failed
+			// verification would, keeping the demand schedule unchanged).
+			demand *= 1.2
+			continue
+		}
+		op, err := power.MinVoltage(vfs, arch, freq)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		pp, err := s.fork(tmpl, freq, op.VoltageV, opts.Exact)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		if err := ctx.Err(); err != nil {
+			return OperatingPoint{}, err
+		}
+		pass, err := s.verify(pp, opts.ProbeDuration)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		if !pass {
+			lastFailedFreq = freq
+			demand *= 1.2
+			continue
+		}
+		// The passing run ends exactly at the probe boundary of the
+		// verified configuration: snapshot it so Measure at this operating
+		// point continues instead of re-simulating the window. The no-sync
+		// variant's returned point is bumped below the verified frequency,
+		// so its snapshot could never be looked up — don't retain it.
+		if arch != power.MCNoSync {
+			s.mu.Lock()
+			s.warm[warmKey{
+				VK:            variantKey{App: app, Arch: arch},
+				Sig:           keyOf(sig),
+				FreqHz:        freq,
+				VoltageV:      op.VoltageV,
+				ProbeDuration: opts.ProbeDuration,
+				Exact:         opts.Exact,
+			}] = pp.Snapshot()
+			s.mu.Unlock()
+		}
+		if arch == power.MCNoSync {
+			// Divergence-induced deadline misses are bursty: a point that
+			// verifies over the probe window can still slip over longer
+			// runs. Extra headroom is strictly safe for the busy-wait
+			// variant (idle cycles are spent spinning).
+			freq *= 1.1
+			op, err = power.MinVoltage(vfs, arch, freq)
+			if err != nil {
+				return OperatingPoint{}, err
+			}
+		}
+		return OperatingPoint{FreqHz: freq, VoltageV: op.VoltageV}, nil
+	}
+	if power.ClampFreq(demand) == lastFailedFreq {
+		return OperatingPoint{}, fmt.Errorf(
+			"exp: %s/%v: misses real time at the clamped %.2f MHz clock floor and the escalated demand (%.2f MHz) cannot raise it",
+			app, arch, lastFailedFreq/1e6, demand/1e6)
+	}
+	return OperatingPoint{}, fmt.Errorf("exp: %s/%v: no real-time frequency found (demand %.2f MHz)", app, arch, demand/1e6)
+}
+
+// verifyChunks slices each verification window: real-time violations only
+// accumulate, so checking between chunks lets a failing candidate abort at
+// the first violation with the verdict — and therefore the solved operating
+// point — unchanged. More chunks abort failing candidates earlier at the
+// cost of more checks; the checks are O(1).
+const verifyChunks = 64
+
+// verify runs the candidate platform over the probe window, returning
+// whether it met real time. Simulation faults (not real-time violations)
+// surface as errors, exactly as in the from-scratch reference.
+func (s *Session) verify(pp *platform.Platform, seconds float64) (bool, error) {
+	total := pp.CyclesFor(seconds)
+	chunk := total/verifyChunks + 1
+	for pp.Cycle() < total {
+		n := chunk
+		if rem := total - pp.Cycle(); rem < n {
+			n = rem
+		}
+		if err := pp.Run(n); err != nil {
+			return false, err
+		}
+		if checkRealTime(pp) != nil {
+			if pp.Cycle() < total {
+				s.count(func(st *SessionStats) { st.EarlyAborts++ })
+			}
+			return false, nil
+		}
+		if pp.AllHalted() {
+			// The reference's single RunSeconds stops at full halt;
+			// re-entering Run would step (and sample) past it.
+			break
+		}
+	}
+	return true, nil
+}
+
+// Measure runs app/arch at the given operating point for opts.Duration and
+// computes the power report, exactly as the package-level Measure does. When
+// the session holds the probe-boundary snapshot of this exact configuration
+// (the solve's verified candidate), the measurement continues it — the
+// warm-up window is simulated once per configuration, and the result is
+// bit-identical to a from-scratch run (continuation equivalence is pinned by
+// internal/platform's golden tests).
+func (s *Session) Measure(ctx context.Context, app string, arch power.Arch, op OperatingPoint, sig *signal.Source, opts Options) (*Measurement, error) {
+	v, err := s.variant(app, arch)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	wk := warmKey{
+		VK:            variantKey{App: app, Arch: arch},
+		Sig:           keyOf(sig),
+		FreqHz:        op.FreqHz,
+		VoltageV:      op.VoltageV,
+		ProbeDuration: opts.ProbeDuration,
+		Exact:         opts.Exact,
+	}
+	s.mu.Lock()
+	snap := s.warm[wk]
+	s.mu.Unlock()
+
+	var p *platform.Platform
+	if snap != nil && opts.Duration >= opts.ProbeDuration {
+		pp, err := v.NewPlatform(sig, op.FreqHz, op.VoltageV)
+		if err != nil {
+			return nil, err
+		}
+		pp.SetExact(opts.Exact)
+		if err := pp.Restore(snap); err != nil {
+			return nil, err
+		}
+		total := pp.CyclesFor(opts.Duration)
+		if pp.Cycle() <= total {
+			// A snapshot of a fully halted run is already final: the
+			// reference's RunSeconds would have stopped at the halt, so
+			// continuing would step (and sample) past it.
+			if !pp.AllHalted() {
+				if err := pp.Run(total - pp.Cycle()); err != nil {
+					return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
+				}
+			}
+			s.count(func(st *SessionStats) { st.WarmMeasures++ })
+			p = pp
+			// A grid measures each solved point once; drop the snapshot
+			// (megabytes per configuration) now that it served its purpose.
+			// A repeat measurement falls back to the cold path, which is
+			// bit-identical.
+			s.mu.Lock()
+			if s.warm[wk] == snap {
+				delete(s.warm, wk)
+			}
+			s.mu.Unlock()
+		}
+	}
+	if p == nil {
+		tmpl, err := s.template(app, arch, sig)
+		if err != nil {
+			return nil, err
+		}
+		p, err = s.fork(tmpl, op.FreqHz, op.VoltageV, opts.Exact)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.RunSeconds(opts.Duration); err != nil {
+			return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
+		}
+	}
+	return finishMeasurement(v, p, app, arch, op, s.measureParams())
+}

@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/power"
+)
+
+// sessionArchs is the full architecture column of the evaluation.
+var sessionArchs = []power.Arch{power.SC, power.MCNoSync, power.MC}
+
+// TestSessionSolveMatchesScratch pins the core equivalence contract on the
+// paper's default ECG configuration: the fork-per-candidate, early-aborting,
+// probe-sharing session solve returns bit-identical operating points to the
+// from-scratch reference for every benchmark on every architecture.
+func TestSessionSolveMatchesScratch(t *testing.T) {
+	opts := tinyOpts()
+	opts.ProbeDuration = 1.0
+	ctx := context.Background()
+	s := NewSession(nil)
+	for _, app := range apps.Names {
+		for _, arch := range sessionArchs {
+			sig, err := opts.Record(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantErr := SolveOperatingPointFromScratch(ctx, app, arch, sig, opts)
+			got, gotErr := s.SolveOperatingPoint(ctx, app, arch, sig, opts)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s/%v: scratch err %v, session err %v", app, arch, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Errorf("%s/%v: errors differ:\nscratch: %v\nsession: %v", app, arch, wantErr, gotErr)
+				}
+				continue
+			}
+			if want != got {
+				t.Errorf("%s/%v: scratch %.4f MHz/%.2f V, session %.4f MHz/%.2f V",
+					app, arch, want.FreqHz/1e6, want.VoltageV, got.FreqHz/1e6, got.VoltageV)
+			}
+		}
+	}
+	st := s.Stats()
+	// MC-nosync seeds its demand from MC's probe: three of the nine solves
+	// must have reused a cached demand estimate.
+	if st.DemandHits < 3 {
+		t.Errorf("session reran shared probes: %d demand hits, want >= 3 (stats %+v)", st.DemandHits, st)
+	}
+	if st.Forks == 0 || st.ProbeRuns == 0 {
+		t.Errorf("session did not exercise the fork path: %+v", st)
+	}
+}
+
+// TestSessionMeasureWarmIsBitIdentical pins the amortized-warm-up contract:
+// a measurement continuing the solve's probe-boundary snapshot equals the
+// from-scratch measurement in every field — counters, banks, report.
+func TestSessionMeasureWarmIsBitIdentical(t *testing.T) {
+	opts := tinyOpts()
+	ctx := context.Background()
+	for _, arch := range []power.Arch{power.SC, power.MC} {
+		s := NewSession(nil)
+		sig, err := opts.Record(apps.MF3L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := s.SolveOperatingPoint(ctx, apps.MF3L, arch, sig, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := s.Measure(ctx, apps.MF3L, arch, op, sig, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats().WarmMeasures != 1 {
+			t.Errorf("%v: measurement did not continue the probe snapshot: %+v", arch, s.Stats())
+		}
+		scratch, err := Measure(apps.MF3L, arch, op, sig, opts, power.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(warm, scratch) {
+			t.Errorf("%v: warm and scratch measurements diverge:\nwarm:    %+v\nscratch: %+v", arch, warm, scratch)
+		}
+	}
+}
+
+// TestSessionMeasureColdFallsBack: a measurement at an operating point the
+// session never verified (or shorter than the probe window) must fall back
+// to a full run and still match the from-scratch reference.
+func TestSessionMeasureColdFallsBack(t *testing.T) {
+	opts := tinyOpts()
+	ctx := context.Background()
+	s := NewSession(nil)
+	sig, err := opts.Record(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := OperatingPoint{FreqHz: 2.6e6, VoltageV: 0.6} // never solved by s
+	cold, err := s.Measure(ctx, apps.MF3L, power.MC, op, sig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().WarmMeasures != 0 {
+		t.Errorf("cold measure claimed a warm snapshot: %+v", s.Stats())
+	}
+	scratch, err := Measure(apps.MF3L, power.MC, op, sig, opts, power.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, scratch) {
+		t.Error("cold session measurement diverges from the from-scratch reference")
+	}
+}
+
+// TestSessionCancellationIsNotCached: a sweep's first-error cancellation
+// makes sibling in-flight solves fail with ctx.Err(); that outcome belongs
+// to the canceled context, not to the grid cell, and a later solve on the
+// same session must simulate afresh and succeed.
+func TestSessionCancellationIsNotCached(t *testing.T) {
+	opts := tinyOpts()
+	s := NewSession(nil)
+	sig, err := opts.Record(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveOperatingPoint(canceled, apps.MF3L, power.MC, sig, opts); err == nil {
+		t.Fatal("solve under a canceled context must fail")
+	}
+	op, err := s.SolveOperatingPoint(context.Background(), apps.MF3L, power.MC, sig, opts)
+	if err != nil {
+		t.Fatalf("session cached the cancellation: %v", err)
+	}
+	want, err := SolveOperatingPointFromScratch(context.Background(), apps.MF3L, power.MC, sig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != want {
+		t.Errorf("post-cancellation solve = %+v, want %+v", op, want)
+	}
+}
+
+// TestSessionCheckpointRoundTrip pins the cross-invocation contract: a
+// session loaded from a checkpoint answers the same solves bit-identically
+// without running a single probe or verification simulation, and rejects
+// foreign or future-versioned files.
+func TestSessionCheckpointRoundTrip(t *testing.T) {
+	opts := tinyOpts()
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "session.ckpt")
+
+	s1 := NewSession(nil)
+	sig, err := opts.Record(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s1.SolveOperatingPoint(ctx, apps.MF3L, power.MC, sig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if solved, demands := s1.CheckpointSize(); solved != 1 || demands != 1 {
+		t.Errorf("checkpoint holds %d solves / %d demands, want 1/1", solved, demands)
+	}
+
+	s2 := NewSession(nil)
+	if err := s2.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.SolveOperatingPoint(ctx, apps.MF3L, power.MC, sig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("checkpointed solve = %+v, want %+v", got, want)
+	}
+	st := s2.Stats()
+	if st.ProbeRuns != 0 || st.SolveHits != 1 {
+		t.Errorf("checkpointed solve simulated anyway: %+v", st)
+	}
+
+	// A different record (different seed) must miss the checkpoint and
+	// solve normally.
+	o2 := opts
+	o2.Seed = 7
+	sig2, err := o2.Record(apps.MF3L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.SolveOperatingPoint(ctx, apps.MF3L, power.MC, sig2, o2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stats().ProbeRuns == 0 {
+		t.Error("differently-seeded solve was served from the checkpoint")
+	}
+
+	if err := s2.LoadCheckpoint(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Error("loading a missing checkpoint must fail")
+	}
+}

@@ -52,8 +52,15 @@ type Sweep struct {
 	Jobs int
 	// Params calibrates the power reports.
 	Params *power.Params
-	// Cache memoizes signal synthesis across points (NewSweep installs
-	// one; sharing a cache across sweeps is allowed and safe).
+	// Session is the solve/measure engine every point runs through. The
+	// whole worker pool shares it, so built images, probe runs, solved
+	// points and probe-boundary snapshots are amortized across the grid —
+	// and, via Session checkpoints, across process invocations. NewSweep
+	// installs one; sharing a session across sweeps is allowed and safe
+	// (wbsn-bench shares one across its three experiments).
+	Session *Session
+	// Cache memoizes signal synthesis across points; NewSweep aliases it to
+	// the session's cache so records and solves key identically.
 	Cache *signal.Cache
 	// Progress, when non-nil, is invoked after each completed point with
 	// the number of points done so far and the grid size. Calls are
@@ -64,7 +71,8 @@ type Sweep struct {
 // NewSweep returns a sweep engine running up to jobs points concurrently
 // (jobs < 1 selects runtime.NumCPU()).
 func NewSweep(jobs int, params *power.Params) *Sweep {
-	return &Sweep{Jobs: jobs, Params: params, Cache: signal.NewCache()}
+	s := NewSession(params)
+	return &Sweep{Jobs: jobs, Params: params, Session: s, Cache: s.Cache()}
 }
 
 // ProgressPrinter returns a Progress callback logging each completed point
@@ -88,8 +96,14 @@ func ProgressPrinter(w io.Writer) func(done, total int, p Point) {
 func (s *Sweep) Run(ctx context.Context, points []Point) ([]*Measurement, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if s.Session == nil {
+		s.Session = NewSession(s.Params)
+	}
+	// Params is the documented calibration knob; a caller assigning it
+	// after NewSweep must still see it applied to the reports.
+	s.Session.SetParams(s.Params)
 	if s.Cache == nil {
-		s.Cache = signal.NewCache()
+		s.Cache = s.Session.Cache()
 	}
 	jobs := s.Jobs
 	if jobs < 1 {
@@ -153,9 +167,10 @@ func (s *Sweep) Run(ctx context.Context, points []Point) ([]*Measurement, error)
 	return results, nil
 }
 
-// point solves one grid cell: synthesize (or fetch) its record, find the
-// operating point, measure at it. A cache the caller installed on the
-// point's own options wins over the sweep-wide one.
+// point solves one grid cell through the shared session: synthesize (or
+// fetch) its record, find the operating point, measure at it — the
+// measurement continuing the solve's verified probe run. A cache the caller
+// installed on the point's own options wins over the sweep-wide one.
 func (s *Sweep) point(ctx context.Context, pt Point) (*Measurement, error) {
 	opts := pt.Opts
 	if opts.Cache == nil {
@@ -165,14 +180,14 @@ func (s *Sweep) point(ctx context.Context, pt Point) (*Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	op, err := solveOperatingPoint(ctx, pt.App, pt.Arch, sig, opts)
+	op, err := s.Session.SolveOperatingPoint(ctx, pt.App, pt.Arch, sig, opts)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return Measure(pt.App, pt.Arch, op, sig, opts, s.Params)
+	return s.Session.Measure(ctx, pt.App, pt.Arch, op, sig, opts)
 }
 
 // TableI reproduces the paper's Table I through the sweep engine: per
@@ -187,16 +202,22 @@ func (s *Sweep) TableI(ctx context.Context, opts Options) ([]TableIRow, error) {
 // axis of the evaluation (scenario files select which benchmarks a signal
 // kind exercises).
 func (s *Sweep) Table(ctx context.Context, appNames []string, opts Options) ([]TableIRow, error) {
-	var points []Point
-	for _, app := range appNames {
-		points = append(points,
-			Point{App: app, Arch: power.SC, Opts: opts},
-			Point{App: app, Arch: power.MC, Opts: opts})
-	}
-	ms, err := s.Run(ctx, points)
+	ms, err := s.Run(ctx, TableIGrid(appNames, opts))
 	if err != nil {
 		return nil, err
 	}
+	return TableIRows(appNames, ms), nil
+}
+
+// TableIGrid builds Table I's point list: per application, the single-core
+// and multi-core executions. Shared by the sweep engine and wbsn-bench (the
+// JSON output path solves the same grid).
+func TableIGrid(appNames []string, opts Options) []Point {
+	return Grid(appNames, []power.Arch{power.SC, power.MC}, opts)
+}
+
+// TableIRows pairs a solved TableIGrid's measurements into the table's rows.
+func TableIRows(appNames []string, ms []*Measurement) []TableIRow {
 	var rows []TableIRow
 	for i, app := range appNames {
 		sc, mc := ms[2*i], ms[2*i+1]
@@ -205,7 +226,7 @@ func (s *Sweep) Table(ctx context.Context, appNames []string, opts Options) ([]T
 			SavingPct: 100 * (1 - mc.Report.TotalUW/sc.Report.TotalUW),
 		})
 	}
-	return rows, nil
+	return rows
 }
 
 // Fig6Archs are Figure 6's bars per benchmark, in the paper's order (also
@@ -220,27 +241,43 @@ var Fig6Archs = []power.Arch{power.SC, power.MCNoSync, power.MC}
 // (2) the multi-core system without the proposed synchronization (active
 // waiting) and (3) the multi-core system with it.
 func (s *Sweep) Figure6(ctx context.Context, opts Options) ([]Fig6Bar, error) {
-	var points []Point
-	for _, app := range apps.Names {
-		for _, arch := range Fig6Archs {
-			points = append(points, Point{App: app, Arch: arch, Opts: opts})
-		}
-	}
+	points := Fig6Grid(opts)
 	ms, err := s.Run(ctx, points)
 	if err != nil {
 		return nil, err
 	}
+	return Fig6BarsOf(points, ms), nil
+}
+
+// Fig6Grid builds Figure 6's point list: every benchmark on SC, MC-nosync
+// and MC.
+func Fig6Grid(opts Options) []Point {
+	return Grid(apps.Names, Fig6Archs, opts)
+}
+
+// Fig6BarsOf turns a solved Fig6Grid into the figure's bars.
+func Fig6BarsOf(points []Point, ms []*Measurement) []Fig6Bar {
 	var bars []Fig6Bar
 	for i, pt := range points {
 		bars = append(bars, Fig6Bar{App: pt.App, Arch: pt.Arch, M: ms[i]})
 	}
-	return bars, nil
+	return bars
 }
 
 // Figure7 reproduces the paper's Figure 7 through the sweep engine:
 // RP-CLASS power on both systems, and the reduction, as the share of
 // pathological heartbeats grows (uniformly distributed, §V-C).
 func (s *Sweep) Figure7(ctx context.Context, opts Options) ([]Fig7Point, error) {
+	ms, err := s.Run(ctx, Fig7Grid(opts))
+	if err != nil {
+		return nil, err
+	}
+	return Fig7PointsOf(ms), nil
+}
+
+// Fig7Grid builds Figure 7's point list: RP-CLASS on SC and MC at each
+// pathological-beat share of the paper's x-axis.
+func Fig7Grid(opts Options) []Point {
 	var points []Point
 	for _, share := range Fig7Shares {
 		o := opts
@@ -249,10 +286,12 @@ func (s *Sweep) Figure7(ctx context.Context, opts Options) ([]Fig7Point, error) 
 			Point{App: apps.RPClass, Arch: power.SC, Opts: o},
 			Point{App: apps.RPClass, Arch: power.MC, Opts: o})
 	}
-	ms, err := s.Run(ctx, points)
-	if err != nil {
-		return nil, err
-	}
+	return points
+}
+
+// Fig7PointsOf pairs a solved Fig7Grid's measurements into the figure's
+// x-positions.
+func Fig7PointsOf(ms []*Measurement) []Fig7Point {
 	var pts []Fig7Point
 	for i, share := range Fig7Shares {
 		sc, mc := ms[2*i], ms[2*i+1]
@@ -263,5 +302,5 @@ func (s *Sweep) Figure7(ctx context.Context, opts Options) ([]Fig7Point, error) 
 			ReductionPct: 100 * (1 - mc.Report.TotalUW/sc.Report.TotalUW),
 		})
 	}
-	return pts, nil
+	return pts
 }

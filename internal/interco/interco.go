@@ -57,6 +57,13 @@ func (x *Crossbar) Advance() { x.rr++ }
 // counter far from overflow.
 func (x *Crossbar) AdvanceN(n uint64) { x.rr = (x.rr + int(n%64)) & 63 }
 
+// Phase returns the observable rotating-priority phase (rr mod 64), the
+// crossbar's only mutable state, for platform snapshots.
+func (x *Crossbar) Phase() int { return x.rr & 63 }
+
+// SetPhase reinstates a snapshotted rotating-priority phase.
+func (x *Crossbar) SetPhase(p int) { x.rr = p & 63 }
+
 // Arbitrate resolves the cycle's requests in place and returns the summary.
 //
 // Per bank: the pending request whose core has the highest rotating priority

@@ -131,6 +131,28 @@ func (m *DMem) Write(bank, offset int, v uint16) bool {
 	return true
 }
 
+// DMemState is the deep-copied content and power state of a data memory,
+// captured by Snapshot and reinstated by Restore (platform checkpoints).
+type DMemState struct {
+	Words  []uint16
+	BankOn [isa.DMBanks]bool
+}
+
+// Snapshot deep-copies the memory's words and per-bank power state.
+func (m *DMem) Snapshot() DMemState {
+	return DMemState{Words: append([]uint16(nil), m.words...), BankOn: m.bankOn}
+}
+
+// Restore reinstates a previously captured state.
+func (m *DMem) Restore(st DMemState) error {
+	if len(st.Words) != len(m.words) {
+		return fmt.Errorf("mem: restoring %d data words onto a %d-word memory", len(st.Words), len(m.words))
+	}
+	copy(m.words, st.Words)
+	m.bankOn = st.BankOn
+	return nil
+}
+
 // Mapper translates a core's logical data address into a physical bank and
 // offset. The multi-core platform uses the ATU's interleaving; the
 // single-core baseline a linear decoder.

@@ -202,6 +202,46 @@ func (a *ADC) NextEventCycle() uint64 {
 	return uint64(math.Ceil(a.nextDue))
 }
 
+// ADCState is the deep-copied mutable state of an ADC, captured by Snapshot
+// and reinstated by Restore. The sampling grids themselves (per-channel rates
+// and periods) are configuration, re-derived from the platform clock on
+// restore — which is what lets a snapshot rehydrate under a different clock
+// frequency: sample indices and data registers carry over, and the next
+// sampling instant is recomputed on the new clock's index-derived grid.
+type ADCState struct {
+	Idx      [NumADCChannels]int
+	Instants int
+	Data     [NumADCChannels]uint16
+	Ready    uint16
+	Overruns uint64
+}
+
+// Snapshot copies the converter's mutable state.
+func (a *ADC) Snapshot() ADCState {
+	return ADCState{Idx: a.idx, Instants: a.instants, Data: a.data, Ready: a.ready, Overruns: a.overruns}
+}
+
+// Restore reinstates a previously captured state and recomputes the pending
+// sampling instant from the restored per-channel sample indices under the
+// converter's own (possibly different) clock configuration.
+func (a *ADC) Restore(st ADCState) error {
+	for ch := 0; ch < NumADCChannels; ch++ {
+		if st.Idx[ch] < 0 {
+			return fmt.Errorf("periph: negative sample index %d for channel %d", st.Idx[ch], ch)
+		}
+		if st.Idx[ch] > 0 && !a.enabled[ch] {
+			return fmt.Errorf("periph: snapshot has %d samples on channel %d, which is disabled here", st.Idx[ch], ch)
+		}
+	}
+	a.idx = st.Idx
+	a.instants = st.Instants
+	a.data = st.Data
+	a.ready = st.Ready
+	a.overruns = st.Overruns
+	a.nextDue = a.scanNextInstant()
+	return nil
+}
+
 // ReadData returns the latest sample of channel ch and clears its ready bit
 // (reading the data register acknowledges the sample). A channel read
 // between its own sampling instants holds its last value: slower channels

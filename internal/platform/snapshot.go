@@ -1,0 +1,260 @@
+// Checkpointable platform sessions.
+//
+// A Snapshot deep-copies everything a run mutates — core pipelines and
+// register files, data-memory banks, the synchronizer, crossbar arbitration
+// phases, ADC sampling grids, power counters, fast-forward bookkeeping and
+// the debug/trace cursors — so a simulation can be rewound (Restore), resumed
+// in a later process (the versioned SnapshotFile encoding), or rehydrated
+// under a different operating point (Fork). Restoring and continuing is
+// bit-identical to having simulated straight through: Run(a) followed by
+// Run(b) steps exactly the cycles Run(a+b) would, and a snapshot taken
+// between them captures every bit of observable state (enforced by
+// snapshot_test.go's golden tests).
+//
+// Fork is the primitive the experiment layer's operating-point search is
+// built on: candidate frequencies are probed by forking one pristine platform
+// per configuration instead of re-assembling, re-linking and re-loading the
+// application for every candidate, and a verified probe run is forked into
+// the measurement run so the shared warm-up window is simulated once.
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/periph"
+	"repro/internal/power"
+)
+
+// Snapshot is the deep-copied mutable state of a Platform at a cycle
+// boundary. Fields are exported for the versioned gob encoding; treat the
+// contents as opaque. The instruction memory is deliberately absent: its
+// words are immutable after load and its bank power is a pure function of
+// the image, so rehydration recovers it from the (deterministically rebuilt)
+// image instead of storing 96 KB per checkpoint.
+type Snapshot struct {
+	// Identity of the configuration the snapshot was captured under, checked
+	// (and, for Fork, rebased) on restore.
+	Arch    power.Arch
+	ClockHz float64
+	NCore   int
+
+	Cycle         uint64
+	LastCycleIdle bool
+	FFLeaps       uint64
+	FFSkipped     uint64
+
+	Cores []cpu.Core
+	DM    mem.DMemState
+	Sync  core.SyncState
+	ADC   *periph.ADCState
+
+	IMXPhase int
+	DMXPhase int
+
+	Counters      power.Counters
+	PerCoreBusy   []uint64
+	LastSample    int
+	WindowBusy    []uint32
+	MaxSampleBusy uint64
+
+	Debug      []DebugEntry
+	ErrCodes   []DebugEntry
+	HostFlag   uint16
+	LastStatus []uint8
+
+	FaultMsg string
+}
+
+// Snapshot deep-copies the platform's mutable state. It is a pure read: the
+// platform is left untouched, and snapshotting an idle platform from several
+// goroutines (as the experiment session does with its pristine templates) is
+// safe. Must be called at a cycle boundary — any point outside Step/Run,
+// which is the only place callers can observe the platform anyway.
+func (p *Platform) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Arch:          p.cfg.Arch,
+		ClockHz:       p.cfg.ClockHz,
+		NCore:         p.ncore,
+		Cycle:         p.cycle,
+		LastCycleIdle: p.lastCycleIdle,
+		FFLeaps:       p.ffLeaps,
+		FFSkipped:     p.ffSkipped,
+		Cores:         make([]cpu.Core, p.ncore),
+		DM:            p.dmem.Snapshot(),
+		Sync:          p.sync.Snapshot(),
+		IMXPhase:      p.imx.Phase(),
+		DMXPhase:      p.dmx.Phase(),
+		Counters:      p.ctr,
+		PerCoreBusy:   append([]uint64(nil), p.perCoreBusy...),
+		LastSample:    p.lastSample,
+		WindowBusy:    append([]uint32(nil), p.windowBusy...),
+		MaxSampleBusy: p.maxSampleBusy,
+		HostFlag:      p.hostFlag,
+	}
+	for i, c := range p.cores {
+		s.Cores[i] = *c
+	}
+	if p.adc != nil {
+		st := p.adc.Snapshot()
+		s.ADC = &st
+	}
+	if len(p.debug) > 0 {
+		s.Debug = append([]DebugEntry(nil), p.debug...)
+	}
+	if len(p.errCodes) > 0 {
+		s.ErrCodes = append([]DebugEntry(nil), p.errCodes...)
+	}
+	if p.lastStatus != nil {
+		s.LastStatus = make([]uint8, len(p.lastStatus))
+		for i, st := range p.lastStatus {
+			s.LastStatus[i] = uint8(st)
+		}
+	}
+	if p.fault != nil {
+		s.FaultMsg = p.fault.Error()
+	}
+	return s
+}
+
+// Restore reinstates a snapshot onto this platform. The platform must have
+// been built from the same configuration (architecture, core count, clock)
+// and — uncheckable here, so the caller's responsibility — the same program
+// image and input traces the snapshot was captured under; checkpoint files
+// carry metadata for exactly that validation. Continuing a restored platform
+// is bit-identical to never having stopped. To rehydrate under a different
+// clock, use Fork.
+func (p *Platform) Restore(s *Snapshot) error {
+	if s.Arch != p.cfg.Arch {
+		return fmt.Errorf("platform: restoring a %v snapshot onto a %v platform", s.Arch, p.cfg.Arch)
+	}
+	if s.ClockHz != p.cfg.ClockHz {
+		return fmt.Errorf("platform: restoring a %.0f Hz snapshot onto a %.0f Hz platform (use Fork to rebase the clock)", s.ClockHz, p.cfg.ClockHz)
+	}
+	return p.adopt(s)
+}
+
+// adopt overwrites the platform's mutable state with the snapshot's,
+// assuming identity checks (or Fork's rebase) already happened.
+func (p *Platform) adopt(s *Snapshot) error {
+	if s.NCore != p.ncore {
+		return fmt.Errorf("platform: snapshot has %d cores, platform %d", s.NCore, p.ncore)
+	}
+	if len(s.Cores) != p.ncore || len(s.PerCoreBusy) != p.ncore || len(s.WindowBusy) != p.ncore {
+		return fmt.Errorf("platform: malformed snapshot (per-core arrays sized %d/%d/%d, want %d)",
+			len(s.Cores), len(s.PerCoreBusy), len(s.WindowBusy), p.ncore)
+	}
+	if (s.ADC == nil) != (p.adc == nil) {
+		return fmt.Errorf("platform: snapshot and platform disagree on ADC presence")
+	}
+	if err := p.sync.Restore(s.Sync); err != nil {
+		return err
+	}
+	if err := p.dmem.Restore(s.DM); err != nil {
+		return err
+	}
+	if p.adc != nil {
+		if err := p.adc.Restore(*s.ADC); err != nil {
+			return err
+		}
+	}
+	for i := range p.cores {
+		*p.cores[i] = s.Cores[i]
+	}
+	p.imx.SetPhase(s.IMXPhase)
+	p.dmx.SetPhase(s.DMXPhase)
+	p.cycle = s.Cycle
+	p.lastCycleIdle = s.LastCycleIdle
+	p.ffLeaps = s.FFLeaps
+	p.ffSkipped = s.FFSkipped
+	p.ctr = s.Counters
+	copy(p.perCoreBusy, s.PerCoreBusy)
+	p.lastSample = s.LastSample
+	copy(p.windowBusy, s.WindowBusy)
+	p.maxSampleBusy = s.MaxSampleBusy
+	p.debug = append(p.debug[:0], s.Debug...)
+	p.errCodes = append(p.errCodes[:0], s.ErrCodes...)
+	p.hostFlag = s.HostFlag
+	if p.lastStatus != nil {
+		if len(s.LastStatus) == len(p.lastStatus) {
+			for i, st := range s.LastStatus {
+				p.lastStatus[i] = coreStatus(st)
+			}
+		} else {
+			// The snapshot was captured without a tracer: force a first
+			// transition record, as SetTracer does.
+			for i := range p.lastStatus {
+				p.lastStatus[i] = stHalted + 1
+			}
+		}
+	}
+	p.fault = nil
+	if s.FaultMsg != "" {
+		p.fault = errors.New(s.FaultMsg)
+	}
+	return nil
+}
+
+// Fork rehydrates the platform's current state into a new platform built
+// from cfg, which may select a different clock frequency and supply voltage.
+// The program image is shared (it is immutable); cfg is validated exactly as
+// New validates it, so frequency-dependent state is re-derived rather than
+// carried over: ADC sampling grids are recomputed from the per-channel
+// sample indices on the new clock (rejecting rates the new clock cannot
+// sustain), pending wake latencies keep their remaining cycle counts (wake
+// latency is a cycle-denominated hardware constant), and subsequent
+// RunSeconds cycle budgets use the new clock.
+//
+// Forking a pristine (never-run) platform is bit-identical to building a
+// fresh one with New — that degenerate fork is what the operating-point
+// search uses to probe candidate frequencies without re-running the
+// application build. Forking mid-run rebases the cycle position
+// proportionally (preserving the simulated wall-clock instant), which keeps
+// real-time behaviour — sampling cadence, overruns, deadline checks — exact;
+// the accumulated activity counters are carried over verbatim, so a
+// cross-frequency fork's power report spans both clock epochs and is meant
+// for feasibility probing, not for calibrated power measurement.
+func (p *Platform) Fork(cfg Config) (*Platform, error) {
+	if cfg.Arch != p.cfg.Arch {
+		return nil, fmt.Errorf("platform: cannot fork a %v platform as %v: the program image is architecture-specific", p.cfg.Arch, cfg.Arch)
+	}
+	p2, err := New(cfg, p.img)
+	if err != nil {
+		return nil, err
+	}
+	s := p.Snapshot()
+	if cfg.ClockHz != s.ClockHz {
+		ratio := cfg.ClockHz / s.ClockHz
+		newCycle := uint64(float64(s.Cycle)*ratio + 0.5)
+		for c := range s.Sync.WakeAt {
+			if s.Sync.WakeAt[c] > s.Cycle {
+				s.Sync.WakeAt[c] = newCycle + (s.Sync.WakeAt[c] - s.Cycle)
+			} else {
+				s.Sync.WakeAt[c] = 0
+			}
+		}
+		s.Cycle = newCycle
+		s.Sync.Cycle = newCycle
+		s.ClockHz = cfg.ClockHz
+	}
+	if err := p2.adopt(s); err != nil {
+		return nil, err
+	}
+	return p2, nil
+}
+
+// Config returns a copy of the platform's configuration: the natural
+// starting point for a Fork at a different operating point (adjust ClockHz
+// and VoltageV, keep the traces).
+func (p *Platform) Config() Config { return p.cfg }
+
+// CyclesFor converts a simulated duration to this platform's whole-cycle
+// budget, with RunSeconds' round-to-nearest semantics. Callers slicing a run
+// into checkpointed chunks use it to hit the exact same total cycle count a
+// single RunSeconds call would.
+func (p *Platform) CyclesFor(s float64) uint64 {
+	return secondsToCycles(s, p.cfg.ClockHz)
+}

@@ -37,6 +37,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -115,7 +116,17 @@ func Load(path string) (*Scenario, error) {
 
 // Parse reads and validates one scenario from r.
 func Parse(r io.Reader) (*Scenario, error) {
-	dec := json.NewDecoder(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// Strict decoding rejects unknown fields but silently keeps the last of
+	// two duplicate keys — a typo'd override would lose without a trace, so
+	// duplicates are rejected first, with the offending path and position.
+	if err := checkDuplicateKeys(data); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var ff fileFormat
 	if err := dec.Decode(&ff); err != nil {
@@ -145,7 +156,7 @@ func Parse(r io.Reader) (*Scenario, error) {
 			len(ff.Signal.RateDiv), signal.MaxChannels)
 	}
 	copy(cfg.RateDiv[:], ff.Signal.RateDiv)
-	cfg, err := signal.Normalize(cfg)
+	cfg, err = signal.Normalize(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -171,26 +182,81 @@ func Parse(r io.Reader) (*Scenario, error) {
 	if len(s.Apps) == 0 {
 		s.Apps = append([]string(nil), apps.Names...)
 	}
-	for _, app := range s.Apps {
+	for i, app := range s.Apps {
 		known := false
 		for _, n := range apps.Names {
 			known = known || n == app
 		}
 		if !known {
-			return nil, fmt.Errorf("unknown app %q (known: %v)", app, apps.Names)
+			return nil, fmt.Errorf("apps[%d]: unknown app %q (known: %v)", i, app, apps.Names)
 		}
 	}
 	if len(ff.Archs) > 0 {
 		s.Archs = s.Archs[:0]
-		for _, name := range ff.Archs {
+		for i, name := range ff.Archs {
 			arch, ok := archNames[name]
 			if !ok {
-				return nil, fmt.Errorf("unknown arch %q (known: sc, mc, mc-nosync)", name)
+				return nil, fmt.Errorf("archs[%d]: unknown arch %q (known: sc, mc, mc-nosync)", i, name)
 			}
 			s.Archs = append(s.Archs, arch)
 		}
 	}
 	return s, nil
+}
+
+// checkDuplicateKeys walks the document's token stream and rejects objects
+// that bind the same key twice, reporting the dotted path and byte offset of
+// the second binding.
+func checkDuplicateKeys(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := checkDupValue(dec, nil); err != nil {
+		return err
+	}
+	// Trailing garbage after the document is the strict decoder's problem.
+	return nil
+}
+
+// checkDupValue consumes one JSON value from dec, recursing into containers.
+// path holds the dotted location of the value being read.
+func checkDupValue(dec *json.Decoder, path []string) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	delim, ok := tok.(json.Delim)
+	if !ok {
+		return nil // scalar
+	}
+	switch delim {
+	case '{':
+		seen := map[string]bool{}
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return err
+			}
+			key, _ := keyTok.(string)
+			if seen[key] {
+				return fmt.Errorf("duplicate key %q at byte %d (the first binding would be silently overridden)",
+					strings.Join(append(path, key), "."), dec.InputOffset())
+			}
+			seen[key] = true
+			if err := checkDupValue(dec, append(path, key)); err != nil {
+				return err
+			}
+		}
+		_, err = dec.Token() // consume '}'
+		return err
+	case '[':
+		for i := 0; dec.More(); i++ {
+			if err := checkDupValue(dec, append(path, fmt.Sprintf("[%d]", i))); err != nil {
+				return err
+			}
+		}
+		_, err = dec.Token() // consume ']'
+		return err
+	}
+	return nil
 }
 
 // Options converts the scenario into experiment options. Seed and

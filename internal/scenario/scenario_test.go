@@ -135,6 +135,57 @@ func TestParseValidation(t *testing.T) {
 	}
 }
 
+// TestRejectDuplicateKeys: strict decoding alone keeps the last of two
+// duplicate bindings, so a typo'd override silently loses; the parser must
+// reject the document and point at the duplicate.
+func TestRejectDuplicateKeys(t *testing.T) {
+	cases := map[string]struct {
+		doc  string
+		path string
+	}{
+		"top level": {
+			`{"name": "x", "duration_s": 3, "signal": {"kind": "ecg"}, "duration_s": 5}`,
+			`"duration_s"`,
+		},
+		"nested in signal": {
+			`{"name": "x", "signal": {"kind": "ecg", "seed": 1, "seed": 2}}`,
+			`"signal.seed"`,
+		},
+		"object inside array": {
+			`{"name": "x", "signal": {"kind": "ecg"}, "apps": [{"a": 1, "a": 2}]}`,
+			`"apps.[0].a"`,
+		},
+	}
+	for label, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted %s", label, tc.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate key "+tc.path) || !strings.Contains(err.Error(), "at byte") {
+			t.Errorf("%s: error %q does not name the duplicate path %s with its position", label, err, tc.path)
+		}
+	}
+	// Equal keys in different objects are not duplicates.
+	doc := `{"name": "x", "signal": {"kind": "ecg", "seed": 1}, "duration_s": 3}`
+	if _, err := Parse(strings.NewReader(doc)); err != nil {
+		t.Errorf("distinct objects sharing key names rejected: %v", err)
+	}
+}
+
+// TestPositionalAppArchErrors: unknown grid entries must name their index so
+// long lists are debuggable.
+func TestPositionalAppArchErrors(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"name": "x", "signal": {"kind": "ecg"}, "apps": ["3l-mf", "4l-mf"]}`))
+	if err == nil || !strings.Contains(err.Error(), "apps[1]") {
+		t.Errorf("unknown app error lacks its position: %v", err)
+	}
+	_, err = Parse(strings.NewReader(`{"name": "x", "signal": {"kind": "ecg"}, "archs": ["sc", "mc", "gpu"]}`))
+	if err == nil || !strings.Contains(err.Error(), "archs[2]") {
+		t.Errorf("unknown arch error lacks its position: %v", err)
+	}
+}
+
 // TestExplicitZeroSeed: seed 0 is a valid generator seed and must not be
 // silently rewritten to the omitted-field default of 1.
 func TestExplicitZeroSeed(t *testing.T) {
