@@ -314,6 +314,51 @@ func BenchmarkIdleFastForward(b *testing.B) {
 	}
 }
 
+// BenchmarkSpinFastForward pits the exact cycle-by-cycle engine against the
+// spin-loop fast-forward on the busy-wait baseline (3L-MMD on MC-nosync at a
+// probe-class 16 MHz clock). Between samples the combiner and delineator
+// cores poll shared counters, which defeats quiescence detection and used to
+// force the no-sync column through cycle-by-cycle simulation; the spin
+// engine proves those polls periodic and leaps them, collapsing the column
+// toward the MC column's wall-clock. Both modes produce bit-identical
+// results (internal/platform/spinff_test.go and the scenario golden suite);
+// only wall-clock differs.
+func BenchmarkSpinFastForward(b *testing.B) {
+	opts := benchOpts()
+	sig := benchSignal(b, apps.MMD3L, opts)
+	v, err := apps.Build(apps.MMD3L, power.MCNoSync)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, exact bool) float64 {
+		b.Helper()
+		total := uint64(0)
+		for i := 0; i < b.N; i++ {
+			p, err := v.NewPlatform(sig, 16e6, 1.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.SetExact(exact)
+			if err := p.RunSeconds(1); err != nil {
+				b.Fatal(err)
+			}
+			total += p.Cycle()
+			if !exact && p.SpinSkippedCycles() == 0 {
+				b.Fatal("spin fast-forward never engaged on the busy-wait baseline")
+			}
+		}
+		rate := float64(total) / b.Elapsed().Seconds()
+		b.ReportMetric(rate, "cycles/s")
+		return rate
+	}
+	var exactRate, fastRate float64
+	b.Run("exact", func(b *testing.B) { exactRate = run(b, true) })
+	b.Run("fast-forward", func(b *testing.B) { fastRate = run(b, false) })
+	if exactRate > 0 && fastRate > 0 {
+		b.Logf("spin fast-forward speedup: %.1fx", fastRate/exactRate)
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed: platform
 // cycles per wall second for the 8-core-class configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -57,6 +57,16 @@ func (b *bench) saveCheckpoint() {
 		b.checkpoint, solved, demands)
 }
 
+// printSessionStats summarizes the session's reuse and fast-forward work on
+// stderr (progress channel, so diff-based comparisons of stdout stay clean).
+func (b *bench) printSessionStats() {
+	st := b.sweep.Session.Stats()
+	fmt.Fprintf(os.Stderr, "session: %d builds, %d probe runs (%d cache hits), %d forks, %d warm measures\n",
+		st.Builds, st.ProbeRuns, st.DemandHits, st.Forks, st.WarmMeasures)
+	fmt.Fprintf(os.Stderr, "session: fast-forward skipped %d cycles in %d idle leaps, %d cycles in %d spin leaps\n",
+		st.FFSkippedCycles, st.FFLeaps, st.SpinSkippedCycles, st.SpinLeaps)
+}
+
 func (b *bench) loadCheckpoint() {
 	if b.checkpoint == "" {
 		return
@@ -184,6 +194,9 @@ func main() {
 		}
 		b.flushJSON()
 		b.saveCheckpoint()
+		if !*quiet {
+			b.printSessionStats()
+		}
 		return
 	}
 
@@ -236,4 +249,7 @@ func main() {
 	})
 	b.flushJSON()
 	b.saveCheckpoint()
+	if !*quiet {
+		b.printSessionStats()
+	}
 }

@@ -200,6 +200,7 @@ func main() {
 	}
 	p.SetExact(*exact)
 	var meta map[string]string
+	startCycle := uint64(0)
 	if *checkpoint != "" {
 		meta = checkpointMeta(*app, arch, *clock*1e6, *voltage, *exact, sig)
 		resumed, err := resumeCheckpoint(*checkpoint, meta, p)
@@ -207,6 +208,7 @@ func main() {
 			fatal(err)
 		}
 		if resumed {
+			startCycle = p.Cycle()
 			fmt.Fprintf(os.Stderr, "checkpoint: resumed %s at cycle %d (%.2fs simulated)\n",
 				*checkpoint, p.Cycle(), float64(p.Cycle())/(*clock*1e6))
 		}
@@ -243,6 +245,14 @@ func main() {
 	if !*exact && c.Cycles > 0 {
 		fmt.Printf("  fast-forward: %d leaps skipped %d of %d cycles (%.2f%%)\n",
 			p.FFLeaps(), p.FFSkippedCycles(), c.Cycles, 100*float64(p.FFSkippedCycles())/float64(c.Cycles))
+	}
+	if !*exact && p.SpinLeaps() > 0 {
+		// Spin diagnostics reset on a checkpoint restore (unlike the idle
+		// counters, which the snapshot carries), so they describe this
+		// invocation's segment and are reported against its cycles.
+		segment := p.Cycle() - startCycle
+		fmt.Printf("  spin fast-forward: %d leaps skipped %d of %d cycles simulated this run (%.2f%%)\n",
+			p.SpinLeaps(), p.SpinSkippedCycles(), segment, 100*float64(p.SpinSkippedCycles())/float64(segment))
 	}
 	rep, err := p.PowerReport(power.DefaultParams())
 	if err != nil {

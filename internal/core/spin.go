@@ -1,0 +1,163 @@
+// Spin-loop signature tracking.
+//
+// The busy-wait (MC-nosync) lowering replaces the sync ISE with active
+// waiting: a consumer polls a shared data-memory counter in a tight
+// load/compare/branch loop until a producer advances it. Those loops defeat
+// the platform's quiescence-based idle fast-forward — the spinning core
+// fetches and executes on every cycle — yet they perform no work the
+// simulator needs to replay individually: a spin iteration's only memory
+// traffic is re-reading locations nobody is writing.
+//
+// SpinTracker is the per-core detector feeding the platform's spin-loop
+// fast-forward engine (internal/platform/spinff.go). It keeps a bounded
+// history of executed PCs (the loop signature), the set of data addresses
+// the window observed (the read set), and a side-effect watermark (the
+// write set must be empty: stores, MMIO writes, synchronization operations,
+// SLEEP and HALT all disqualify the window). Candidate reports whether the
+// recent history is consistent with a small side-effect-free loop; the
+// platform then *proves* the stretch periodic — state recurrence over one
+// full period with the read set unchanged — before leaping, so the tracker
+// only ever has to be a cheap, conservative trigger. A loop the tracker
+// misses merely simulates cycle-by-cycle; a loop it wrongly nominates fails
+// the platform's recurrence proof and costs nothing (the probed cycles were
+// stepped normally anyway).
+
+package core
+
+// Spin-detector geometry. The window must cover at least two full periods
+// of the largest recognizable loop so Candidate never extrapolates from a
+// single traversal.
+const (
+	// SpinWindow is the length of the per-core executed-PC history.
+	SpinWindow = 64
+	// MaxSpinPeriod is the largest loop signature (in executed
+	// instructions) recognized as a spin candidate. Loops longer than this
+	// fall back to cycle-accurate stepping. 2*MaxSpinPeriod <= SpinWindow.
+	MaxSpinPeriod = 24
+	// MaxSpinReads bounds the observed-address set: a window reading more
+	// distinct locations than this (a scan over a buffer, not a poll of a
+	// flag) is never nominated.
+	MaxSpinReads = 16
+)
+
+// SpinTracker observes one core's executed instructions and nominates
+// spin-loop candidates. The zero value is ready to use. All methods are
+// O(1) except Candidate, which the platform calls only at arming attempts.
+type SpinTracker struct {
+	pcs [SpinWindow]int32
+	n   uint64 // executed instructions observed in total
+	// clean counts instructions observed since the last side effect; the
+	// window is only meaningful when clean >= SpinWindow.
+	clean uint64
+
+	reads        [MaxSpinReads]uint16
+	nreads       int
+	readOverflow bool
+}
+
+// Reset clears the full history, for platform restore/fork and mode
+// switches.
+func (t *SpinTracker) Reset() { *t = SpinTracker{} }
+
+// NoteExec records one executed instruction's PC.
+func (t *SpinTracker) NoteExec(pc int) {
+	t.pcs[t.n%SpinWindow] = int32(pc)
+	t.n++
+	t.clean++
+}
+
+// NoteRead records a data read (banked DM or MMIO) at addr into the
+// observed-address set. The set saturates at MaxSpinReads distinct
+// addresses, after which the window is disqualified until the next side
+// effect (or Reset) clears it.
+func (t *SpinTracker) NoteRead(addr uint16) {
+	if t.readOverflow {
+		return
+	}
+	for i := 0; i < t.nreads; i++ {
+		if t.reads[i] == addr {
+			return
+		}
+	}
+	if t.nreads == MaxSpinReads {
+		t.readOverflow = true
+		return
+	}
+	t.reads[t.nreads] = addr
+	t.nreads++
+}
+
+// NoteSideEffect records that the core did something a spin loop must not:
+// a store or MMIO write (the write set must stay empty), a synchronization
+// operation, SLEEP, or HALT. It restarts the clean window.
+func (t *SpinTracker) NoteSideEffect() {
+	t.clean = 0
+	t.nreads = 0
+	t.readOverflow = false
+}
+
+// ReadSet returns the distinct data addresses the current clean window
+// observed (unspecified order), for diagnostics and tests.
+func (t *SpinTracker) ReadSet() []uint16 {
+	return append([]uint16(nil), t.reads[:t.nreads]...)
+}
+
+// Candidate reports whether the core's recent execution looks like a small
+// side-effect-free spin loop, and the loop's signature period in executed
+// instructions. It requires a full SpinWindow of history with no side
+// effects, a bounded observed-address set, and the PC history to be exactly
+// periodic with the smallest period <= MaxSpinPeriod — which the window
+// length guarantees was observed for at least two full traversals.
+//
+// Negative cases fall out by construction: a loop containing a store resets
+// the clean window every iteration; an irregular PC history (data-dependent
+// iteration counts, a counter register steering different paths) never
+// turns periodic; a loop longer than MaxSpinPeriod finds no period. All
+// three keep the platform on the cycle-accurate path.
+func (t *SpinTracker) Candidate() (period int, ok bool) {
+	if t.n < SpinWindow || t.clean < SpinWindow || t.readOverflow {
+		return 0, false
+	}
+	for p := 1; p <= MaxSpinPeriod; p++ {
+		if t.periodic(p) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// periodic reports whether the whole history window repeats with period p.
+func (t *SpinTracker) periodic(p int) bool {
+	// t.n is the ring index of the oldest entry (the next write position).
+	base := t.n % SpinWindow
+	for i := 0; i < SpinWindow-p; i++ {
+		a := (base + uint64(i)) % SpinWindow
+		b := (base + uint64(i) + uint64(p)) % SpinWindow
+		if t.pcs[a] != t.pcs[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// StableEqual compares the synchronizer's current state against a captured
+// SyncState, ignoring the cycle stamp and the absolute wake-at cycles: the
+// spin fast-forward engine requires separately (via NextWake) that no wake
+// latency is pending at either end of the compared window, which makes the
+// wake-at values dead state. Violation messages embed cycle numbers, so
+// only their count is compared — violations append-only, and an equal count
+// across the window means none were recorded in it.
+func (s *Synchronizer) StableEqual(st *SyncState) bool {
+	if len(st.Points) != s.npoints || len(st.Violations) != len(s.violations) {
+		return false
+	}
+	for i := range s.points {
+		if s.points[i] != st.Points[i] {
+			return false
+		}
+	}
+	return s.state == st.State &&
+		s.token == st.Token &&
+		s.irqSub == st.IRQSub &&
+		s.irqPend == st.IRQPend
+}

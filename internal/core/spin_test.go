@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/power"
+)
+
+// feedLoop replays n executed instructions of a loop with the given PC body.
+func feedLoop(t *SpinTracker, body []int, n int) {
+	for i := 0; i < n; i++ {
+		t.NoteExec(body[i%len(body)])
+	}
+}
+
+func TestSpinTrackerNominatesSmallLoop(t *testing.T) {
+	var tr SpinTracker
+	body := []int{100, 101, 102, 103}
+	feedLoop(&tr, body, 2*SpinWindow)
+	p, ok := tr.Candidate()
+	if !ok || p != len(body) {
+		t.Fatalf("Candidate() = %d, %v; want %d, true", p, ok, len(body))
+	}
+}
+
+func TestSpinTrackerFindsSmallestPeriod(t *testing.T) {
+	var tr SpinTracker
+	// A body that is itself a repeated sub-pattern must be nominated at the
+	// sub-pattern's period.
+	feedLoop(&tr, []int{7, 8, 7, 8}, 2*SpinWindow)
+	if p, ok := tr.Candidate(); !ok || p != 2 {
+		t.Fatalf("Candidate() = %d, %v; want 2, true", p, ok)
+	}
+	// A jump-to-self degenerates to period 1.
+	tr.Reset()
+	feedLoop(&tr, []int{42}, SpinWindow)
+	if p, ok := tr.Candidate(); !ok || p != 1 {
+		t.Fatalf("Candidate() = %d, %v; want 1, true", p, ok)
+	}
+}
+
+func TestSpinTrackerNeedsFullWindow(t *testing.T) {
+	var tr SpinTracker
+	feedLoop(&tr, []int{1, 2, 3}, SpinWindow-1)
+	if _, ok := tr.Candidate(); ok {
+		t.Fatal("nominated with less than a full window of history")
+	}
+}
+
+func TestSpinTrackerRejectsStores(t *testing.T) {
+	var tr SpinTracker
+	body := []int{10, 11, 12}
+	// A store every iteration keeps resetting the clean window: never
+	// nominated no matter how long it runs.
+	for i := 0; i < 4*SpinWindow; i++ {
+		tr.NoteExec(body[i%len(body)])
+		if i%len(body) == 1 {
+			tr.NoteSideEffect()
+		}
+	}
+	if _, ok := tr.Candidate(); ok {
+		t.Fatal("nominated a loop with a store in every iteration")
+	}
+	// Once the stores stop, a full clean window re-qualifies it.
+	feedLoop(&tr, body, SpinWindow)
+	if p, ok := tr.Candidate(); !ok || p != len(body) {
+		t.Fatalf("Candidate() after stores ceased = %d, %v; want %d, true", p, ok, len(body))
+	}
+}
+
+func TestSpinTrackerRejectsIrregularHistory(t *testing.T) {
+	var tr SpinTracker
+	// A deterministic but aperiodic PC walk (inner loop with a growing
+	// iteration count) must never be nominated.
+	pc := 0
+	for i := 0; i < 4*SpinWindow; i++ {
+		tr.NoteExec(pc)
+		pc = (pc*5 + 3) % 97 // pseudo-random walk, period 97 > window
+	}
+	if _, ok := tr.Candidate(); ok {
+		t.Fatal("nominated an irregular PC history")
+	}
+}
+
+func TestSpinTrackerRejectsLongLoop(t *testing.T) {
+	var tr SpinTracker
+	body := make([]int, MaxSpinPeriod+1)
+	for i := range body {
+		body[i] = 200 + i
+	}
+	feedLoop(&tr, body, 4*SpinWindow)
+	if _, ok := tr.Candidate(); ok {
+		t.Fatalf("nominated a %d-instruction loop, above the %d-instruction ceiling", len(body), MaxSpinPeriod)
+	}
+}
+
+func TestSpinTrackerRejectsWideReadSet(t *testing.T) {
+	var tr SpinTracker
+	body := []int{50, 51}
+	for i := 0; i < 4*SpinWindow; i++ {
+		tr.NoteExec(body[i%len(body)])
+		// A different address every iteration: a scan, not a poll.
+		tr.NoteRead(uint16(i))
+	}
+	if _, ok := tr.Candidate(); ok {
+		t.Fatal("nominated a loop observing an unbounded address set")
+	}
+	// The same loop polling one location qualifies.
+	tr.NoteSideEffect() // clears the saturated read set
+	for i := 0; i < SpinWindow; i++ {
+		tr.NoteExec(body[i%len(body)])
+		tr.NoteRead(300)
+	}
+	if _, ok := tr.Candidate(); !ok {
+		t.Fatal("rejected a single-location poll loop")
+	}
+	if rs := tr.ReadSet(); len(rs) != 1 || rs[0] != 300 {
+		t.Fatalf("ReadSet() = %v, want [300]", rs)
+	}
+}
+
+func TestSynchronizerStableEqual(t *testing.T) {
+	var ctr power.Counters
+	s := NewSynchronizer(2, 1, &ctr)
+	st := s.Snapshot()
+	if !s.StableEqual(&st) {
+		t.Fatal("fresh synchronizer does not StableEqual its own snapshot")
+	}
+	// The cycle stamp is explicitly ignored: FastForward must not break
+	// equality.
+	s.FastForward(1000)
+	if !s.StableEqual(&st) {
+		t.Fatal("cycle stamp broke StableEqual; it must be ignored")
+	}
+	// A subscription change is stable state and must break equality.
+	s.SetSubscription(0, 1)
+	if s.StableEqual(&st) {
+		t.Fatal("IRQ subscription change went unnoticed")
+	}
+	s.SetSubscription(0, 0)
+	if !s.StableEqual(&st) {
+		t.Fatal("reverting the subscription did not restore equality")
+	}
+	// A recorded violation must break equality (its count is compared).
+	s.Post(0, 99 /* invalid kind on out-of-range point */, 5)
+	if s.StableEqual(&st) {
+		t.Fatal("violation went unnoticed")
+	}
+}

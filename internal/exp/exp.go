@@ -3,6 +3,39 @@
 // minimum supply voltage from the VFS table), measures calibrated average
 // power over extended simulated time, and regenerates Table I, Figure 6 and
 // Figure 7.
+//
+// # Session lifecycle
+//
+// Every solve and measurement runs through a Session, the checkpointable
+// engine that amortizes the grid's shared work. One cell's life cycle:
+//
+//  1. Record: Options.Record synthesizes (or recalls from the shared
+//     signal.Cache) the cell's input record.
+//  2. Demand: one probe run at a generous clock estimates the busy-cycle
+//     demand; MC and MC-nosync share the probe (active waiting makes the
+//     no-sync variant's own counters useless for dimensioning).
+//  3. Solve: candidate frequencies fork one pristine platform template,
+//     escalating on real-time violations; failing candidates abort at
+//     their first violation. The passing verification is snapshotted at
+//     the probe boundary.
+//  4. Measure: continues the probe-boundary snapshot to Options.Duration
+//     (bit-identical to a from-scratch run) and computes the power report.
+//  5. Checkpoint: SaveCheckpoint persists solved points and demand
+//     estimates; a later invocation's LoadCheckpoint skips the
+//     simulations that produced them.
+//
+// Results are bit-identical to solving each cell from scratch
+// (SolveOperatingPointFromScratch is retained as the reference, and the
+// session-vs-scratch golden matrix in internal/scenario enforces
+// equality). Sweep fans a grid of cells over a worker pool sharing one
+// Session; results are deterministic for any worker count.
+//
+// Options.Exact threads the simulator's escape hatch through every run the
+// session performs: the platform's idle and spin-loop fast-forward engines
+// are disabled, SessionStats' fast-forward counters stay zero, and —
+// because the engines are bit-identical by contract — every solved point,
+// measurement and error is unchanged. Cache keys include the flag, so
+// exact and fast results never mix even within one session.
 package exp
 
 import (

@@ -67,6 +67,17 @@ type SessionStats struct {
 	// WarmMeasures is the number of measurements that continued a verified
 	// probe-boundary snapshot instead of re-simulating its window.
 	WarmMeasures uint64
+
+	// Fast-forward work across every simulation the session ran (probes,
+	// candidate verifications, measurements): idle-quiescence leaps and
+	// spin-loop leaps, with the cycles each accounted in bulk instead of
+	// stepping. Wall-clock diagnostics — Options.Exact zeroes them by
+	// forcing the cycle-accurate path — whose totals depend on run
+	// chunking, never on results (which are bit-identical either way).
+	FFLeaps           uint64
+	FFSkippedCycles   uint64
+	SpinLeaps         uint64
+	SpinSkippedCycles uint64
 }
 
 // NewSession returns an empty session calibrated by params (nil selects
@@ -121,6 +132,26 @@ func (s *Session) count(f func(*SessionStats)) {
 	s.mu.Lock()
 	f(&s.stats)
 	s.mu.Unlock()
+}
+
+// ffMark is a platform's fast-forward odometer reading, taken before a
+// session-driven run so recordFF can accumulate just that run's work
+// (restored platforms carry their snapshot's idle-leap counters).
+type ffMark struct{ leaps, skipped, spinLeaps, spinSkipped uint64 }
+
+func markFF(p *platform.Platform) ffMark {
+	return ffMark{p.FFLeaps(), p.FFSkippedCycles(), p.SpinLeaps(), p.SpinSkippedCycles()}
+}
+
+// recordFF accumulates the fast-forward work p performed since m into the
+// session statistics.
+func (s *Session) recordFF(p *platform.Platform, m ffMark) {
+	s.count(func(st *SessionStats) {
+		st.FFLeaps += p.FFLeaps() - m.leaps
+		st.FFSkippedCycles += p.FFSkippedCycles() - m.skipped
+		st.SpinLeaps += p.SpinLeaps() - m.spinLeaps
+		st.SpinSkippedCycles += p.SpinSkippedCycles() - m.spinSkipped
+	})
 }
 
 // sourceKey identifies a synthesized record: generators are deterministic
@@ -385,7 +416,10 @@ func (s *Session) runProbe(ctx context.Context, app string, demandArch power.Arc
 		return 0, err
 	}
 	s.count(func(st *SessionStats) { st.ProbeRuns++ })
-	if err := p.RunSeconds(opts.ProbeDuration); err != nil {
+	m := markFF(p)
+	err = p.RunSeconds(opts.ProbeDuration)
+	s.recordFF(p, m)
+	if err != nil {
 		return 0, &probeError{err: err}
 	}
 	if err := checkRealTime(p); err != nil {
@@ -523,6 +557,8 @@ const verifyChunks = 64
 func (s *Session) verify(pp *platform.Platform, seconds float64) (bool, error) {
 	total := pp.CyclesFor(seconds)
 	chunk := total/verifyChunks + 1
+	m := markFF(pp)
+	defer func() { s.recordFF(pp, m) }()
 	for pp.Cycle() < total {
 		n := chunk
 		if rem := total - pp.Cycle(); rem < n {
@@ -589,7 +625,10 @@ func (s *Session) Measure(ctx context.Context, app string, arch power.Arch, op O
 			// reference's RunSeconds would have stopped at the halt, so
 			// continuing would step (and sample) past it.
 			if !pp.AllHalted() {
-				if err := pp.Run(total - pp.Cycle()); err != nil {
+				m := markFF(pp)
+				err := pp.Run(total - pp.Cycle())
+				s.recordFF(pp, m)
+				if err != nil {
 					return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
 				}
 			}
@@ -615,7 +654,10 @@ func (s *Session) Measure(ctx context.Context, app string, arch power.Arch, op O
 		if err != nil {
 			return nil, err
 		}
-		if err := p.RunSeconds(opts.Duration); err != nil {
+		m := markFF(p)
+		err = p.RunSeconds(opts.Duration)
+		s.recordFF(p, m)
+		if err != nil {
 			return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
 		}
 	}

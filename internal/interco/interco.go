@@ -27,6 +27,19 @@ type Result struct {
 	Stalled  int // requests that must retry next cycle
 }
 
+// PhasePeriod is the cycle count after which the rotating arbitration
+// priority repeats: only rr mod PhasePeriod is observable (see prio). It is
+// the alignment grain of the platform's spin-loop fast-forward — a repeating
+// request pattern produces repeating grant/stall outcomes once its period is
+// a multiple of PhasePeriod, so state recurrence is checked on that grid.
+// The one exception is a conflict-free pattern: when no two same-cycle
+// requests collide incompatibly on a bank, every request is granted at every
+// phase (winner selection only matters to stalled losers, and read merges
+// grant all parties regardless of which rides the broadcast), so the pattern
+// repeats at its own period and the leap only needs AdvanceN to land the
+// phase where a stepped run would.
+const PhasePeriod = 64
+
 // Crossbar arbitrates same-cycle requests onto banks with rotating priority
 // and broadcast merging.
 type Crossbar struct {
@@ -51,18 +64,19 @@ func NewCrossbar(nbanks int) *Crossbar {
 func (x *Crossbar) Advance() { x.rr++ }
 
 // AdvanceN rotates the arbitration priority by n cycles at once, for the
-// platform's idle fast-forward: leaping over n quiescent cycles must leave
-// the rotating priority exactly where a cycle-by-cycle run would. Only
-// rr mod 64 is observable (see prio), so n is reduced first to keep the
-// counter far from overflow.
-func (x *Crossbar) AdvanceN(n uint64) { x.rr = (x.rr + int(n%64)) & 63 }
+// platform's fast-forward engines: leaping over n cycles — quiescent ones,
+// or whole periods of a proven-periodic spin pattern — must leave the
+// rotating priority exactly where a cycle-by-cycle run would. Only
+// rr mod PhasePeriod is observable (see prio), so n is reduced first to
+// keep the counter far from overflow.
+func (x *Crossbar) AdvanceN(n uint64) { x.rr = (x.rr + int(n%PhasePeriod)) & (PhasePeriod - 1) }
 
-// Phase returns the observable rotating-priority phase (rr mod 64), the
-// crossbar's only mutable state, for platform snapshots.
-func (x *Crossbar) Phase() int { return x.rr & 63 }
+// Phase returns the observable rotating-priority phase (rr mod PhasePeriod),
+// the crossbar's only mutable state, for platform snapshots.
+func (x *Crossbar) Phase() int { return x.rr & (PhasePeriod - 1) }
 
 // SetPhase reinstates a snapshotted rotating-priority phase.
-func (x *Crossbar) SetPhase(p int) { x.rr = p & 63 }
+func (x *Crossbar) SetPhase(p int) { x.rr = p & (PhasePeriod - 1) }
 
 // Arbitrate resolves the cycle's requests in place and returns the summary.
 //
@@ -112,8 +126,9 @@ func (x *Crossbar) Arbitrate(reqs []Request) Result {
 }
 
 func (x *Crossbar) prio(core int) int {
-	// Rotating: the core equal to rr mod 64 has priority 0 this cycle.
-	return (core - x.rr) & 63
+	// Rotating: the core equal to rr mod PhasePeriod has priority 0 this
+	// cycle.
+	return (core - x.rr) & (PhasePeriod - 1)
 }
 
 // Decoder is the single-core baseline's memory interface: one requester, no

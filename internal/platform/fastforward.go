@@ -37,9 +37,11 @@ import (
 
 // Run simulates up to n further cycles, stopping early when every core has
 // halted or a fault occurs. Unless the platform is in exact mode, quiescent
-// stretches are leapt over in bulk; the observable behaviour is identical
-// either way.
+// stretches are leapt over in bulk, and — when no event tracer is attached —
+// proven-periodic spin-loop stretches too (spinff.go); the observable
+// behaviour is identical either way.
 func (p *Platform) Run(n uint64) error {
+	p.spinSetTracking(!p.exact && p.tracer == nil)
 	limit := p.cycle + n
 	for p.cycle < limit {
 		if !p.exact && p.lastCycleIdle {
@@ -53,6 +55,9 @@ func (p *Platform) Run(n uint64) error {
 		}
 		if p.AllHalted() {
 			return nil
+		}
+		if p.spin.tracking {
+			p.spinObserve(limit)
 		}
 	}
 	return nil
@@ -122,4 +127,6 @@ func (p *Platform) leap(k uint64) {
 	p.dmx.AdvanceN(k)
 	p.ffLeaps++
 	p.ffSkipped += k
+	// An idle leap crossed cycles an armed spin probe assumed contiguous.
+	p.spin.armed = false
 }

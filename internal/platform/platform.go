@@ -7,6 +7,34 @@
 // Three architecture variants are supported: SC (single-core baseline), MC
 // (multi-core with the proposed synchronization) and MC-nosync (multi-core
 // with busy-waiting instead of the sync ISE, Figure 6's middle bar).
+//
+// # Simulation engine
+//
+// Run is a multi-mode engine over one cycle-accurate core: Step (step.go)
+// simulates a single platform cycle in seven phases, and two fast-forward
+// paths leap over stretches Step would simulate without anything
+// observable happening — fully quiescent stretches (fastforward.go: every
+// core halted, gated or inside its wake latency) and proven-periodic
+// spin-loop stretches (spinff.go: every running core busy-waiting in a
+// side-effect-free loop, the MC-nosync idiom). Both leaps are bit-identical
+// to stepping; Config.Exact / SetExact force the cycle-by-cycle path as an
+// escape hatch and as the reference the golden-equivalence tests compare
+// against.
+//
+// # Snapshots
+//
+// Snapshot/Restore/Fork (snapshot.go) deep-copy, rewind and rehydrate the
+// platform's mutable state. The invariants callers rely on: continuing a
+// restored platform is bit-identical to never having stopped; forking a
+// pristine platform equals building a fresh one; a fork onto a new clock
+// re-derives frequency-dependent state (ADC sampling grids) and preserves
+// cycle-denominated state (remaining wake latencies). Fast-forward
+// bookkeeping is wall-clock diagnostics, not simulated state: leap
+// placement may differ across Run chunkings and restores while every
+// architectural observable stays identical.
+//
+// See docs/ARCHITECTURE.md for the package's place in the whole system and
+// docs/FORMATS.md for the on-disk snapshot format.
 package platform
 
 import (
@@ -111,6 +139,9 @@ type Platform struct {
 	ffLeaps       uint64 // bulk leaps taken
 	ffSkipped     uint64 // cycles accounted in bulk instead of stepped
 
+	// Spin-loop fast-forward engine state (see spinff.go).
+	spin spinFF
+
 	perCoreBusy []uint64 // executed+stalled+bubble cycles per core
 
 	// Worst-case busy cycles of any single core within one ADC sample
@@ -204,6 +235,8 @@ func New(cfg Config, img *Image) (*Platform, error) {
 		exact:       cfg.Exact,
 	}
 	p.sync = core.NewSynchronizer(n, img.NumSyncPoints, &p.ctr)
+	p.spin.track = make([]core.SpinTracker, n)
+	p.spinReset()
 
 	// Memory fabric: the multi-core uses crossbars and the ATU's
 	// interleaving; the baseline simple decoders and linear mapping.
@@ -318,12 +351,13 @@ func New(cfg Config, img *Image) (*Platform, error) {
 // Counters exposes the accumulated activity counters.
 func (p *Platform) Counters() *power.Counters { return &p.ctr }
 
-// SetExact forces (true) or re-enables skipping via (false) the idle
-// fast-forward engine for subsequent Run calls. Mode switches are safe at
-// any cycle boundary: both paths maintain identical architectural state.
+// SetExact forces (true) or re-enables skipping via (false) both
+// fast-forward engines — the quiescence leap and the spin-loop leap — for
+// subsequent Run calls. Mode switches are safe at any cycle boundary: all
+// paths maintain identical architectural state.
 func (p *Platform) SetExact(exact bool) { p.exact = exact }
 
-// Exact reports whether the idle fast-forward engine is disabled.
+// Exact reports whether the fast-forward engines are disabled.
 func (p *Platform) Exact() bool { return p.exact }
 
 // FFLeaps returns how many bulk idle leaps the fast-forward engine took.

@@ -195,6 +195,13 @@ func (p *Platform) adopt(s *Snapshot) error {
 	if s.FaultMsg != "" {
 		p.fault = errors.New(s.FaultMsg)
 	}
+	// Spin-detector state (PC histories, armed probes, leap statistics) is
+	// simulation-process state, not simulated state: it only influences
+	// *when* the spin engine leaps, never what any leap produces, so
+	// snapshots deliberately omit it and restoring simply re-detects. This
+	// keeps Restore/Fork bit-identical to never having stopped while
+	// letting leap placement differ — exactly like Run-call chunking does.
+	p.spinReset()
 	return nil
 }
 

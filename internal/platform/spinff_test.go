@@ -1,0 +1,353 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/power"
+)
+
+// producerSrc is the MC-nosync producer idiom: sleep on the ADC interrupt,
+// publish a shared counter per sample, halt after six.
+const spinProducerSrc = `
+.code main
+    li   r4, 0x7F03     ; RegIRQSub
+    li   r1, 1          ; IRQADC0
+    sw   r1, 0(r4)
+    li   r2, 0          ; produced count
+    li   r6, 6
+    li   r7, 200        ; shared counter address
+prod:
+    sleep
+    li   r4, 0x7F0B     ; RegADCStatus
+    lw   r1, 0(r4)
+    andi r1, r1, 1
+    beqz r1, prod
+    li   r4, 0x7F04     ; RegIRQPend: acknowledge
+    li   r1, 1
+    sw   r1, 0(r4)
+    addi r2, r2, 1
+    sw   r2, 0(r7)      ; publish
+    blt  r2, r6, prod
+    halt
+`
+
+// consumerSrc is the busy-wait consumer: poll the shared counter, accumulate
+// each published value, halt after six.
+const spinConsumerSrc = `
+.code consumer
+    li   r2, 0          ; consumed count
+    li   r6, 6
+    li   r7, 200        ; shared counter address
+    li   r5, 300        ; shared sum address
+wait:
+    lw   r1, 0(r7)
+    beq  r1, r2, wait   ; spin while nothing new
+    addi r2, r2, 1
+    lw   r3, 0(r5)
+    add  r3, r3, r1
+    sw   r3, 0(r5)
+    blt  r2, r6, wait
+    halt
+`
+
+// nosyncCfg is a no-sync multi-core configuration with a 250 Hz ADC: at
+// 1 MHz the consumer spins for thousands of cycles between samples.
+func nosyncCfg() Config {
+	return Config{
+		Arch: power.MCNoSync, ClockHz: 1e6, VoltageV: 0.5,
+		SampleRateHz: 250,
+		Traces:       [3][]int16{0: {3, 1, 4, 1, 5, 9, 2, 6}},
+	}
+}
+
+// busyWaitImage builds the producer/consumer pair with the given consumer.
+func busyWaitImage(t *testing.T, consumer string) *Image {
+	t.Helper()
+	return buildImage(t, 0x2000, 0, []string{spinProducerSrc, consumer}, []int{0, 64},
+		[]DataSeg{{Base: 200, Words: []uint16{0}}, {Base: 300, Words: []uint16{0}}})
+}
+
+// runModesUntraced runs the configuration in exact and fast mode with no
+// tracer attached — the regime in which the spin-loop engine is allowed to
+// leap.
+func runModesUntraced(t *testing.T, cfg Config, mkImg func(t *testing.T) *Image, n uint64) (exact, fast *Platform) {
+	t.Helper()
+	build := func(exactMode bool) *Platform {
+		c := cfg
+		c.Exact = exactMode
+		p, err := New(c, mkImg(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(n); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	exact, fast = build(true), build(false)
+	if exact.SpinSkippedCycles() != 0 {
+		t.Errorf("exact mode spin-skipped %d cycles, want 0", exact.SpinSkippedCycles())
+	}
+	return exact, fast
+}
+
+// assertIdenticalNoTrace checks every observable output except the event
+// trace (none is attached) for bit-identity between the two runs.
+func assertIdenticalNoTrace(t *testing.T, exact, fast *Platform) {
+	t.Helper()
+	if *exact.Counters() != *fast.Counters() {
+		t.Errorf("counters diverge:\nexact: %+v\nfast:  %+v", *exact.Counters(), *fast.Counters())
+	}
+	if e, f := exact.Cycle(), fast.Cycle(); e != f {
+		t.Errorf("cycle diverges: exact %d, fast %d", e, f)
+	}
+	for c := 0; c < exact.ncore; c++ {
+		if e, f := exact.CoreBusy(c), fast.CoreBusy(c); e != f {
+			t.Errorf("core %d busy diverges: exact %d, fast %d", c, e, f)
+		}
+		if e, f := exact.CoreState(c), fast.CoreState(c); e != f {
+			t.Errorf("core %d state diverges: exact %v, fast %v", c, e, f)
+		}
+		if e, f := exact.CoreRegs(c), fast.CoreRegs(c); e != f {
+			t.Errorf("core %d registers diverge:\nexact: %v\nfast:  %v", c, e, f)
+		}
+	}
+	if e, f := exact.MaxSampleBusy(), fast.MaxSampleBusy(); e != f {
+		t.Errorf("max sample busy diverges: exact %d, fast %d", e, f)
+	}
+	if e, f := exact.Overruns(), fast.Overruns(); e != f {
+		t.Errorf("overruns diverge: exact %d, fast %d", e, f)
+	}
+	if e, f := len(exact.Debug()), len(fast.Debug()); e != f {
+		t.Errorf("debug streams diverge: exact %d entries, fast %d", e, f)
+	}
+	if e, f := len(exact.ErrCodes()), len(fast.ErrCodes()); e != f {
+		t.Errorf("error streams diverge: exact %d entries, fast %d", e, f)
+	}
+}
+
+// TestSpinFastForwardBusyWait is the engine's canonical positive case: the
+// MC-nosync producer/consumer pair, where the consumer's poll loop used to
+// defeat quiescence detection. The spin engine must leap most of the run
+// while staying bit-identical to the exact path.
+func TestSpinFastForwardBusyWait(t *testing.T) {
+	mk := func(t *testing.T) *Image { return busyWaitImage(t, spinConsumerSrc) }
+	exact, fast := runModesUntraced(t, nosyncCfg(), mk, 40_000)
+	assertIdenticalNoTrace(t, exact, fast)
+	if !fast.AllHalted() {
+		t.Fatal("busy-wait pair did not complete")
+	}
+	if sum, _ := fast.PeekData(0, 300); sum != 1+2+3+4+5+6 {
+		t.Errorf("consumer sum = %d, want 21", sum)
+	}
+	if fast.SpinSkippedCycles() == 0 {
+		t.Fatal("spin fast-forward never engaged on a busy-wait run")
+	}
+	if skipped := fast.SpinSkippedCycles(); skipped < fast.Cycle()/2 {
+		t.Errorf("spin engine skipped only %d of %d cycles; want spin domination", skipped, fast.Cycle())
+	}
+}
+
+// TestSpinFastForwardDeadlockedSpin covers a spin with no wake source at
+// all (single core polling the host flag, no ADC): the engine must leap
+// straight to the cycle budget, the spin analogue of the all-gated deadlock
+// leap.
+func TestSpinFastForwardDeadlockedSpin(t *testing.T) {
+	src := `
+.code main
+    li   r7, 0x7F12     ; RegHostFlag
+spin:
+    lw   r1, 0(r7)
+    beqz r1, spin
+    halt
+`
+	mk := func(t *testing.T) *Image {
+		return buildImage(t, 0, 0, []string{src}, []int{0}, nil)
+	}
+	exact, fast := runModesUntraced(t, scCfg(), mk, 50_000)
+	assertIdenticalNoTrace(t, exact, fast)
+	if fast.Cycle() != 50_000 {
+		t.Errorf("fast run stopped at cycle %d, want the full 50000 budget", fast.Cycle())
+	}
+	if fast.SpinSkippedCycles() < 45_000 {
+		t.Errorf("spin engine skipped %d cycles, want nearly all of the deadlocked spin", fast.SpinSkippedCycles())
+	}
+}
+
+// TestSpinFastForwardRejectsStores: a poll loop that also stores every
+// iteration has a non-empty write set; the detector must never nominate it
+// and the run must fall back to cycle-accurate stepping — still
+// bit-identical.
+func TestSpinFastForwardRejectsStores(t *testing.T) {
+	storingConsumer := `
+.code consumer
+    li   r2, 0
+    li   r6, 6
+    li   r7, 200
+    li   r5, 300
+wait:
+    lw   r1, 0(r7)
+    sw   r2, 0(r5)      ; heartbeat store: disqualifies the window
+    beq  r1, r2, wait
+    addi r2, r2, 1
+    blt  r2, r6, wait
+    halt
+`
+	mk := func(t *testing.T) *Image { return busyWaitImage(t, storingConsumer) }
+	exact, fast := runModesUntraced(t, nosyncCfg(), mk, 40_000)
+	assertIdenticalNoTrace(t, exact, fast)
+	if fast.SpinLeaps() != 0 {
+		t.Errorf("spin engine leapt %d times over a storing loop, want 0", fast.SpinLeaps())
+	}
+}
+
+// TestSpinFastForwardRejectsMarchingRegisters: a poll loop with an
+// iteration counter is PC-periodic (the tracker nominates it) but its
+// register state never recurs, so the platform's periodicity proof must
+// fail and no leap may happen.
+func TestSpinFastForwardRejectsMarchingRegisters(t *testing.T) {
+	countingConsumer := `
+.code consumer
+    li   r2, 0
+    li   r6, 6
+    li   r7, 200
+    li   r3, 0
+wait:
+    addi r3, r3, 1      ; iteration counter: state never recurs
+    lw   r1, 0(r7)
+    beq  r1, r2, wait
+    addi r2, r2, 1
+    blt  r2, r6, wait
+    halt
+`
+	mk := func(t *testing.T) *Image { return busyWaitImage(t, countingConsumer) }
+	exact, fast := runModesUntraced(t, nosyncCfg(), mk, 40_000)
+	assertIdenticalNoTrace(t, exact, fast)
+	if fast.SpinLeaps() != 0 {
+		t.Errorf("spin engine leapt %d times despite marching registers, want 0", fast.SpinLeaps())
+	}
+}
+
+// TestSpinFastForwardRejectsUnstableMMIO: polling the cycle counter reads a
+// different value every iteration. The observed value lands in a register,
+// so the recurrence proof fails by construction and the loop must step.
+func TestSpinFastForwardRejectsUnstableMMIO(t *testing.T) {
+	src := `
+.code main
+    li   r7, 0x7F01     ; RegCycleLo
+    li   r6, 20000
+spin:
+    lw   r1, 0(r7)
+    bltu r1, r6, spin
+    halt
+`
+	mk := func(t *testing.T) *Image {
+		return buildImage(t, 0, 0, []string{src}, []int{0}, nil)
+	}
+	exact, fast := runModesUntraced(t, scCfg(), mk, 30_000)
+	assertIdenticalNoTrace(t, exact, fast)
+	if !fast.AllHalted() {
+		t.Fatal("cycle-poll loop did not terminate")
+	}
+	if fast.SpinLeaps() != 0 {
+		t.Errorf("spin engine leapt %d times over an unstable MMIO poll, want 0", fast.SpinLeaps())
+	}
+}
+
+// TestSpinFastForwardRejectsLongLoop: a loop body longer than the signature
+// window's largest period must never be nominated.
+func TestSpinFastForwardRejectsLongLoop(t *testing.T) {
+	longConsumer := `
+.code consumer
+    li   r2, 0
+    li   r6, 6
+    li   r7, 200
+wait:
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    lw   r1, 0(r7)
+    beq  r1, r2, wait
+    addi r2, r2, 1
+    blt  r2, r6, wait
+    halt
+`
+	mk := func(t *testing.T) *Image { return busyWaitImage(t, longConsumer) }
+	exact, fast := runModesUntraced(t, nosyncCfg(), mk, 40_000)
+	assertIdenticalNoTrace(t, exact, fast)
+	if fast.SpinLeaps() != 0 {
+		t.Errorf("spin engine leapt %d times over a %d-instruction loop, want 0", fast.SpinLeaps(), 28)
+	}
+}
+
+// TestSpinFastForwardTracerInhibits: a spin stretch is not trace-silent (the
+// spinning core's status flips between exec/stall/bubble), so an attached
+// recorder must keep the engine off — and the traced fast run therefore
+// stays bit-identical to the traced exact run, full event stream included.
+func TestSpinFastForwardTracerInhibits(t *testing.T) {
+	mk := func(t *testing.T) *Image { return busyWaitImage(t, spinConsumerSrc) }
+	exact, fast := runModes(t, nosyncCfg(), mk, 40_000)
+	assertIdentical(t, exact, fast)
+	if fast.SpinLeaps() != 0 {
+		t.Errorf("spin engine leapt %d times with a tracer attached, want 0", fast.SpinLeaps())
+	}
+}
+
+// TestSpinFastForwardStatistics pins the statistics contract: exact mode
+// reports zeros, fast mode reports the leap work, and Restore resets the
+// diagnostics without touching architectural state.
+func TestSpinFastForwardStatistics(t *testing.T) {
+	mk := func(t *testing.T) *Image { return busyWaitImage(t, spinConsumerSrc) }
+	cfg := nosyncCfg()
+	cfg.Exact = false
+	p, err := New(cfg, mk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(12_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.SpinLeaps() == 0 || p.SpinSkippedCycles() == 0 {
+		t.Fatalf("expected spin leaps mid-run, got %d leaps / %d cycles", p.SpinLeaps(), p.SpinSkippedCycles())
+	}
+	snap := p.Snapshot()
+	q, err := New(cfg, mk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if q.SpinLeaps() != 0 || q.SpinSkippedCycles() != 0 {
+		t.Errorf("restored platform reports %d leaps / %d skipped, want fresh diagnostics", q.SpinLeaps(), q.SpinSkippedCycles())
+	}
+	// Continuing the restored platform must still match a straight run.
+	if err := p.Run(28_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(28_000); err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalNoTrace(t, p, q)
+}

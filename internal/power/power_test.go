@@ -2,6 +2,7 @@ package power
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -278,6 +279,35 @@ func TestComponentStrings(t *testing.T) {
 	for comp := Component(0); comp < NumComponents; comp++ {
 		if comp.String() == "" || comp.String()[0] == '?' {
 			t.Errorf("component %d has no name", comp)
+		}
+	}
+}
+
+// TestCountersDiffAddScaled checks the spin fast-forward's bulk-accounting
+// contract over every field by reflection, so a counter added to the struct
+// but forgotten in Diff or AddScaled fails here instead of silently
+// diverging a leap from the cycle-by-cycle reference.
+func TestCountersDiffAddScaled(t *testing.T) {
+	var base, now Counters
+	bv := reflect.ValueOf(&base).Elem()
+	nv := reflect.ValueOf(&now).Elem()
+	for i := 0; i < bv.NumField(); i++ {
+		bv.Field(i).SetUint(uint64(100 + i))
+		nv.Field(i).SetUint(uint64(100 + i + 3*(i+1))) // delta 3*(i+1) per field
+	}
+	d := now.Diff(&base)
+	dv := reflect.ValueOf(&d).Elem()
+	for i := 0; i < dv.NumField(); i++ {
+		if got, want := dv.Field(i).Uint(), uint64(3*(i+1)); got != want {
+			t.Errorf("Diff field %s = %d, want %d", dv.Type().Field(i).Name, got, want)
+		}
+	}
+	sum := base
+	sum.AddScaled(&d, 5)
+	sv := reflect.ValueOf(&sum).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		if got, want := sv.Field(i).Uint(), uint64(100+i)+5*uint64(3*(i+1)); got != want {
+			t.Errorf("AddScaled field %s = %d, want %d", sv.Type().Field(i).Name, got, want)
 		}
 	}
 }

@@ -12,6 +12,17 @@
 // Every generator is a pure function of (Config, duration): records are
 // bit-reproducible across runs and across the parallel sweep engine's
 // memoizing Cache.
+//
+// The package surface, in dependency order of a typical caller: Normalize
+// validates and canonicalizes a Config (the canonical form is the cache
+// key, so equivalent configurations share one synthesis); Synthesize — or
+// Cache.Synthesize for memoized, single-flight synthesis — produces a
+// Source, the per-channel traces plus their sampling rates; FromECG wraps a
+// raw internal/ecg record for callers predating the registry; WriteCSV
+// dumps any Source for inspection (cmd/wbsn-signal). Registering a new
+// generator kind is described in README.md ("Adding a signal kind"); the
+// scenario file schema that selects kinds and rates from disk is documented
+// in docs/FORMATS.md.
 package signal
 
 import (

@@ -1,0 +1,146 @@
+// Command checkdocs enforces the repository's documentation conventions in
+// CI. It performs two checks and exits non-zero listing every finding:
+//
+//  1. Markdown links resolve: every relative link target in the tracked
+//     *.md files (repository root and docs/) must exist on disk. External
+//     schemes (http, https, mailto) and pure in-page anchors are skipped;
+//     a fragment on a relative link is stripped before the existence
+//     check.
+//  2. Package doc comments exist: every package under internal/, cmd/ and
+//     tools/ must carry a package-level doc comment, so `go doc` output is
+//     self-explanatory for each.
+//
+// The tool uses only the standard library and walks the working tree, so
+// it runs identically in CI and locally: go run ./tools/checkdocs
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// mdLink matches inline markdown links and captures the target. Reference
+// definitions ([x]: url) are rare here and intentionally out of scope.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// skipDirs are never descended into.
+var skipDirs = map[string]bool{".git": true}
+
+// skipFiles are excluded from the link check: research-material dumps
+// captured verbatim from external sources (their links point into the
+// documents they were extracted from), not navigable repo documentation.
+var skipFiles = map[string]bool{"PAPER.md": true, "PAPERS.md": true, "SNIPPETS.md": true}
+
+func main() {
+	var problems []string
+	problem := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Check 1: markdown links.
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") && !skipFiles[filepath.Base(path)] {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			problem("%s: %v", md, err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problem("%s: broken link %q (%s does not exist)", md, m[1], resolved)
+			}
+		}
+	}
+
+	// Check 2: package doc comments.
+	var pkgDirs []string
+	for _, root := range []string{"internal", "cmd", "tools"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			hasGo, err := filepath.Glob(filepath.Join(path, "*.go"))
+			if err != nil {
+				return err
+			}
+			if len(hasGo) > 0 {
+				pkgDirs = append(pkgDirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fset := token.NewFileSet()
+	for _, dir := range pkgDirs {
+		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			problem("%s: %v", dir, err)
+			continue
+		}
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				problem("%s: package %s has no package-level doc comment", dir, name)
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "checkdocs: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("checkdocs: %d markdown files and %d packages clean\n", len(mdFiles), len(pkgDirs))
+}
