@@ -18,6 +18,8 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/exp"
+	"repro/internal/isa"
+	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/signal"
 )
@@ -356,6 +358,77 @@ func BenchmarkSpinFastForward(b *testing.B) {
 	b.Run("fast-forward", func(b *testing.B) { fastRate = run(b, false) })
 	if exactRate > 0 && fastRate > 0 {
 		b.Logf("spin fast-forward speedup: %.1fx", fastRate/exactRate)
+	}
+}
+
+// blockKernelImage builds a fast-forward-resistant single-core compute
+// kernel: a long unrolled ALU body with a store per iteration (side effects
+// defeat the spin detector; the backward jump is far longer than any spin
+// signature) and no sleep or ADC dependence (nothing for the idle engine).
+// Every cycle is compute-bound, so the basic-block engine carries
+// essentially the whole run.
+func blockKernelImage() *platform.Image {
+	enc := func(op isa.Opcode, rd, rs1, rs2 uint8, imm int32) isa.Word {
+		return isa.MustEncode(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm})
+	}
+	w := []isa.Word{
+		enc(isa.OpADDI, 4, 0, 0, 256), // data pointer
+		enc(isa.OpADDI, 1, 0, 0, 1),
+	}
+	loop := int32(len(w))
+	for i := 0; i < 10; i++ {
+		w = append(w,
+			enc(isa.OpADD, 2, 1, 1, 0),
+			enc(isa.OpXOR, 3, 2, 1, 0),
+			enc(isa.OpADDI, 1, 1, 0, 1),
+			enc(isa.OpSRLI, 2, 3, 0, 1),
+		)
+	}
+	w = append(w, enc(isa.OpSW, 0, 4, 3, 0))
+	w = append(w, enc(isa.OpJAL, 0, 0, 0, loop-int32(len(w))-1))
+	return &platform.Image{
+		Code:    []platform.CodeSeg{{Base: 0, Words: w}},
+		Entries: []int{0},
+		Shared:  []platform.DataSeg{{Base: 256, Words: make([]uint16, 4)}},
+	}
+}
+
+// BenchmarkBlockEngine pits the exact cycle-by-cycle engine against the
+// predecoded basic-block engine on a compute-bound single-core kernel — the
+// regime neither fast-forward engine can touch, where Step's per-cycle
+// classify/fetch/arbitrate/execute dispatch used to be the simulator's floor.
+// Both modes produce bit-identical results (internal/platform's block-engine
+// differential and golden suites); only wall-clock differs. The data point
+// recorded in BENCH_engine.json tracks this speedup across commits.
+func BenchmarkBlockEngine(b *testing.B) {
+	const cycles = 2_000_000
+	run := func(b *testing.B, exact bool) float64 {
+		b.Helper()
+		total := uint64(0)
+		for i := 0; i < b.N; i++ {
+			p, err := platform.New(platform.Config{
+				Arch: power.SC, ClockHz: 1e6, VoltageV: 0.6, Exact: exact,
+			}, blockKernelImage())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Run(cycles); err != nil {
+				b.Fatal(err)
+			}
+			total += p.Cycle()
+			if !exact && p.BlockCycles() == 0 {
+				b.Fatal("block engine never engaged on the compute-bound kernel")
+			}
+		}
+		rate := float64(total) / b.Elapsed().Seconds()
+		b.ReportMetric(rate, "cycles/s")
+		return rate
+	}
+	var exactRate, blockRate float64
+	b.Run("exact", func(b *testing.B) { exactRate = run(b, true) })
+	b.Run("block", func(b *testing.B) { blockRate = run(b, false) })
+	if exactRate > 0 && blockRate > 0 {
+		b.Logf("block engine speedup: %.1fx", blockRate/exactRate)
 	}
 }
 

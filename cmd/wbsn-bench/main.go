@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"strings"
 
@@ -65,6 +66,8 @@ func (b *bench) printSessionStats() {
 		st.Builds, st.ProbeRuns, st.DemandHits, st.Forks, st.WarmMeasures)
 	fmt.Fprintf(os.Stderr, "session: fast-forward skipped %d cycles in %d idle leaps, %d cycles in %d spin leaps\n",
 		st.FFSkippedCycles, st.FFLeaps, st.SpinSkippedCycles, st.SpinLeaps)
+	fmt.Fprintf(os.Stderr, "session: block engine batched %d cycles in %d engagements\n",
+		st.BlockCycles, st.BlockRuns)
 }
 
 func (b *bench) loadCheckpoint() {
@@ -147,10 +150,28 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-point progress on stderr")
 	format := flag.String("format", "table", "output format: table (rendered) or json (one object per grid point)")
 	checkpoint := flag.String("checkpoint", "", "session checkpoint file: loaded when present, rewritten after the run; re-runs reuse solved operating points (bit-identical results)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *format != "table" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (want table or json)\n", *format)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
 	}
 
 	opts := exp.Options{Duration: *duration, ProbeDuration: *probe, PathoFrac: *patho, Seed: *seed, Exact: *exact}
@@ -251,5 +272,20 @@ func main() {
 	b.saveCheckpoint()
 	if !*quiet {
 		b.printSessionStats()
+	}
+}
+
+// writeHeapProfile snapshots the heap after a final GC, so the profile shows
+// retained memory rather than garbage awaiting collection.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/apps"
@@ -114,7 +115,23 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel sweep workers (-sweep; results are identical for any value)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: resume the simulation from it when present (same flags required) and rewrite it after -duration more seconds; with -sweep, persists solved operating points instead")
 	record := flag.Float64("record", 0, "synthesized record length in seconds (0 = -duration+2); generators are not prefix-stable across lengths, so checkpointed runs and any run they should be compared against must pin the same -record")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
+	}
 
 	// Explicitly-set flags override the scenario file's values.
 	set := map[string]bool{}
@@ -254,6 +271,14 @@ func main() {
 		fmt.Printf("  spin fast-forward: %d leaps skipped %d of %d cycles simulated this run (%.2f%%)\n",
 			p.SpinLeaps(), p.SpinSkippedCycles(), segment, 100*float64(p.SpinSkippedCycles())/float64(segment))
 	}
+	if !*exact && p.BlockRuns() > 0 {
+		// Block-engine diagnostics are segment-relative for the same reason.
+		// Unlike the fast-forward lines, these cycles were fully simulated —
+		// the engine only batches their dispatch and accounting.
+		segment := p.Cycle() - startCycle
+		fmt.Printf("  block engine: %d engagements batched %d of %d cycles simulated this run (%.2f%%)\n",
+			p.BlockRuns(), p.BlockCycles(), segment, 100*float64(p.BlockCycles())/float64(segment))
+	}
 	rep, err := p.PowerReport(power.DefaultParams())
 	if err != nil {
 		fatal(err)
@@ -315,6 +340,21 @@ func runSweep(app string, opts exp.Options, jobs int, checkpoint string) {
 		fmt.Printf("%-10s %8.2f %8.2f %9d %10.1f %10.1f %7.1f%%\n",
 			points[i].Arch, m.Op.FreqHz/1e6, m.Op.VoltageV, m.Cores,
 			m.Report.TotalUW, m.Report.TotalDynamicUW, 100*m.Report.TotalUW/scUW)
+	}
+}
+
+// writeHeapProfile snapshots the heap after a final GC, so the profile shows
+// retained memory rather than garbage awaiting collection.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 

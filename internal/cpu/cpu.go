@@ -219,6 +219,17 @@ func (c *Core) Execute(ins isa.Instr, loadVal uint16, env Env) Effect {
 	return eff
 }
 
+// ExecuteBlock applies ins on the platform's basic-block fast path and
+// reports whether a control transfer was taken. The caller guarantees — by
+// static classification (mem.Classify) — that ins is a valid non-ISE
+// instruction, so the Env-dependent cases (sync posts, SLEEP, HALT) and the
+// invalid-opcode fault are unreachable and no Env is needed. Everything
+// else (register updates, PC advance, bubble accounting) is byte-for-byte
+// the cycle-accurate Execute.
+func (c *Core) ExecuteBlock(ins isa.Instr, loadVal uint16) bool {
+	return c.Execute(ins, loadVal, nil).Taken
+}
+
 func boolTo16(b bool) uint16 {
 	if b {
 		return 1

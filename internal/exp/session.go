@@ -78,6 +78,13 @@ type SessionStats struct {
 	FFSkippedCycles   uint64
 	SpinLeaps         uint64
 	SpinSkippedCycles uint64
+
+	// Basic-block engine work: fast-path engagements and the cycles they
+	// executed with bulk accounting instead of Step's per-cycle dispatch.
+	// The same wall-clock-diagnostic caveats apply, with one difference:
+	// block cycles were fully simulated, not skipped.
+	BlockRuns   uint64
+	BlockCycles uint64
 }
 
 // NewSession returns an empty session calibrated by params (nil selects
@@ -137,20 +144,28 @@ func (s *Session) count(f func(*SessionStats)) {
 // ffMark is a platform's fast-forward odometer reading, taken before a
 // session-driven run so recordFF can accumulate just that run's work
 // (restored platforms carry their snapshot's idle-leap counters).
-type ffMark struct{ leaps, skipped, spinLeaps, spinSkipped uint64 }
-
-func markFF(p *platform.Platform) ffMark {
-	return ffMark{p.FFLeaps(), p.FFSkippedCycles(), p.SpinLeaps(), p.SpinSkippedCycles()}
+type ffMark struct {
+	leaps, skipped, spinLeaps, spinSkipped uint64
+	blockRuns, blockCycles                 uint64
 }
 
-// recordFF accumulates the fast-forward work p performed since m into the
-// session statistics.
+func markFF(p *platform.Platform) ffMark {
+	return ffMark{
+		p.FFLeaps(), p.FFSkippedCycles(), p.SpinLeaps(), p.SpinSkippedCycles(),
+		p.BlockRuns(), p.BlockCycles(),
+	}
+}
+
+// recordFF accumulates the fast-forward and block-engine work p performed
+// since m into the session statistics.
 func (s *Session) recordFF(p *platform.Platform, m ffMark) {
 	s.count(func(st *SessionStats) {
 		st.FFLeaps += p.FFLeaps() - m.leaps
 		st.FFSkippedCycles += p.FFSkippedCycles() - m.skipped
 		st.SpinLeaps += p.SpinLeaps() - m.spinLeaps
 		st.SpinSkippedCycles += p.SpinSkippedCycles() - m.spinSkipped
+		st.BlockRuns += p.BlockRuns() - m.blockRuns
+		st.BlockCycles += p.BlockCycles() - m.blockCycles
 	})
 }
 

@@ -236,6 +236,14 @@ func (op Opcode) IsSyncExtension() bool { return op.IsSync() || op.IsSleep() }
 // IsBranch reports whether op is a conditional branch.
 func (op Opcode) IsBranch() bool { return op >= OpBEQ && op <= OpBGEU }
 
+// IsJump reports whether op is an unconditional control transfer (JAL, JALR).
+func (op Opcode) IsJump() bool { return op == OpJAL || op == OpJALR }
+
+// IsControl reports whether op can redirect the program counter: a
+// conditional branch or a jump. Control instructions terminate the basic
+// blocks of the platform's block execution engine (internal/mem).
+func (op Opcode) IsControl() bool { return op.IsBranch() || op.IsJump() }
+
 // IsMem reports whether op accesses data memory.
 func (op Opcode) IsMem() bool { return op == OpLW || op == OpSW }
 

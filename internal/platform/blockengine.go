@@ -1,0 +1,272 @@
+// Predecoded basic-block execution engine.
+//
+// The two fast-forward engines (fastforward.go, spinff.go) remove the quiet
+// cycles; this engine attacks the loud ones. When a single core is marching
+// through straight-line code, Step still pays the full seven-phase toll per
+// cycle — classify every core, arbitrate empty request lists, re-derive the
+// MemOp, walk the opcode dispatch — even though nothing about the cycle is
+// contended or observable from outside. The block engine executes those
+// stretches from the image's precomputed basic-block tables (mem.BlockSet):
+// a tight loop of fetch → (optional banked memory access) → execute, with
+// all counter, busy-window and crossbar accounting applied in bulk at the
+// end of the stretch, exactly as the equivalent Steps would have.
+//
+// Unlike the fast-forward leaps, these cycles are fully simulated — every
+// instruction executes with architectural fidelity; only the per-cycle
+// dispatch overhead is removed — so bit-identity with -exact holds by
+// construction wherever the engine's preconditions do:
+//
+//   - exactly one core is running (gated/halted cores contribute constant
+//     per-cycle counter increments, applied in bulk). A single requester is
+//     always granted by the crossbars, never merged and never stalled, so
+//     the per-cycle arbitration results are known statically;
+//   - the stretch ends before anything external can intervene: the cycle
+//     budget, the next ADC event (which can publish samples, raise IRQs and
+//     roll the sample window) and the next scheduled wake all bound it;
+//   - the engine yields to Step before any instruction it cannot reproduce:
+//     sync ISE, HALT, invalid encodings (mem.ClassStop), MMIO accesses
+//     (dedicated register file with platform side effects), faulting
+//     fetches and data accesses (Step re-runs the cycle and faults with
+//     exact-mode accounting);
+//   - no event tracer is attached (the gate mirrors the spin engine's).
+//
+// The one regime deliberately left to others is the short busy-wait loop:
+// executing a spin loop instruction-by-instruction — even cheaply — is
+// asymptotically worse than the spin engine's O(1) leap per proven period.
+// On a taken backward branch of spin-detectable distance the engine
+// therefore yields stickily (blockYield) and lets Step feed the spin
+// detector until the PC leaves that loop.
+//
+// Like the fast-forward engines, everything here is simulation-process
+// state: Restore and Fork reset it (snapshot.go) and leap/engagement
+// placement may differ across Run chunkings while every architectural
+// observable stays bit-identical — enforced by blockengine_test.go, the
+// golden-equivalence suites and the scenario matrix.
+
+package platform
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// blockEngine is the engine state embedded in Platform.
+type blockEngine struct {
+	// set is the image's basic-block metadata, built once in New and shared
+	// with forks (the image is immutable).
+	set *mem.BlockSet
+
+	// Sticky spin-yield span: while the single running core's PC lies in
+	// [yieldLo, yieldHi] the engine stays off, so the spin detector sees an
+	// uninterrupted stepped instruction stream (spinff.go).
+	yield            bool
+	yieldLo, yieldHi int
+
+	// Wall-clock diagnostics (process state, not snapshotted).
+	runs   uint64 // fast-path engagements that executed at least one cycle
+	cycles uint64 // cycles executed on the fast path
+}
+
+// BlockRuns returns how many times the basic-block engine engaged its fast
+// path for at least one cycle. Like FFLeaps it is a wall-clock diagnostic:
+// identical simulations chunked differently may engage differently while
+// producing bit-identical results. Restore and Fork reset it.
+func (p *Platform) BlockRuns() uint64 { return p.block.runs }
+
+// BlockCycles returns how many cycles were executed by the basic-block
+// engine instead of through Step's seven phases. Unlike the fast-forward
+// engines' skipped cycles these were fully simulated — only the per-cycle
+// dispatch overhead was avoided — so the figure is a wall-clock diagnostic,
+// not a statement about the workload.
+func (p *Platform) BlockCycles() uint64 { return p.block.cycles }
+
+// blockReset clears the engine's sticky yield and diagnostics: Restore,
+// Fork. The block tables themselves derive from the immutable image and
+// survive.
+func (p *Platform) blockReset() {
+	p.block.yield = false
+	p.block.runs = 0
+	p.block.cycles = 0
+}
+
+// blockRun executes as many upcoming cycles as it can prove safe on the
+// basic-block fast path, stopping at limit (the caller's exclusive cycle
+// budget). It either advances the platform exactly as the same number of
+// Steps would, or returns having touched nothing — every bail-out happens
+// before the cycle being abandoned has any effect, so Step re-simulates it
+// with exact-mode accounting.
+func (p *Platform) blockRun(limit uint64) {
+	if p.fault != nil {
+		return
+	}
+	// Exactly one running core; gated and halted cores contribute fixed
+	// per-cycle counter increments.
+	anchor := -1
+	var gated, halted uint64
+	for c := 0; c < p.ncore; c++ {
+		switch p.sync.State(c) {
+		case core.StateRunning:
+			if anchor >= 0 {
+				return // contended fabric: Step arbitrates
+			}
+			anchor = c
+		case core.StateGated:
+			gated++
+		default:
+			halted++
+		}
+	}
+	if anchor < 0 {
+		return // fully idle: the quiescence engine's territory
+	}
+	cr := p.cores[anchor]
+	if p.block.yield {
+		if cr.PC >= p.block.yieldLo && cr.PC <= p.block.yieldHi {
+			return // inside a yielded spin loop: keep stepping
+		}
+		p.block.yield = false
+	}
+	if cr.Fetched {
+		return // held instruction from a DM stall: Step must replay it
+	}
+	if !p.sync.Runnable(anchor, p.cycle+1) {
+		return // inside its wake latency: these are idle cycles
+	}
+	if cr.Bubble == 0 && p.block.set.RunLen(cr.PC) == 0 {
+		return // parked on a stop instruction: nothing for the fast path
+	}
+
+	// The stretch must end before anything external can intervene: the
+	// budget, the next ADC event (sample publications, IRQ wakes, overruns,
+	// sample-window rollover) and any scheduled wake latency expiry.
+	end := limit
+	if w, ok := p.sync.NextWake(p.cycle); ok && w-1 < end {
+		end = w - 1
+	}
+	if p.adc != nil {
+		if e := p.adc.NextEventCycle(); e-1 < end {
+			end = e - 1
+		}
+	}
+	if end <= p.cycle {
+		return
+	}
+
+	start := p.cycle
+	cyc := start
+	var instrs, bubbles, taken, reads, writes uint64
+loop:
+	for cyc < end {
+		// Pipeline-refill bubbles burn whole cycles without fetching.
+		if cr.Bubble > 0 {
+			n := uint64(cr.Bubble)
+			if room := end - cyc; n > room {
+				n = room
+			}
+			cr.Bubble -= int(n)
+			bubbles += n
+			cyc += n
+			continue
+		}
+		n := p.block.set.RunLen(cr.PC)
+		if n == 0 {
+			break // stop instruction ahead: yield to Step
+		}
+		if room := end - cyc; uint64(n) > room {
+			n = int(room)
+		}
+		for i := 0; i < n; i++ {
+			ins, ok := p.imem.Fetch(cr.PC)
+			if !ok {
+				break loop // Step will fault with exact accounting
+			}
+			var loadVal uint16
+			switch p.block.set.Class(cr.PC) {
+			case mem.ClassLoad:
+				addr := cr.Regs[ins.Rs1] + uint16(ins.Imm)
+				if isa.IsMMIO(addr) {
+					break loop // MMIO interacts with platform state
+				}
+				b, o := p.mapper.Map(anchor, addr)
+				v, ok := p.dmem.Read(b, o)
+				if !ok {
+					break loop // powered-off bank: Step will fault
+				}
+				loadVal = v
+				reads++
+			case mem.ClassStore:
+				addr := cr.Regs[ins.Rs1] + uint16(ins.Imm)
+				if isa.IsMMIO(addr) {
+					break loop
+				}
+				b, o := p.mapper.Map(anchor, addr)
+				if !p.dmem.Write(b, o, cr.Regs[ins.Rs2]) {
+					break loop
+				}
+				writes++
+			}
+			// Keep IR on the same trajectory Step's fetch phase would, so
+			// core snapshots stay bit-identical across engines.
+			prevPC := cr.PC
+			cr.IR = ins
+			if cr.ExecuteBlock(ins, loadVal) {
+				taken++
+				instrs++
+				cyc++
+				if cr.PC <= prevPC && prevPC-cr.PC < core.MaxSpinPeriod {
+					// A tight backward loop is the spin detector's domain:
+					// its O(1) leap beats executing every iteration. Yield
+					// stickily until the PC leaves the loop body.
+					p.block.yield = true
+					p.block.yieldLo, p.block.yieldHi = cr.PC, prevPC
+					break loop
+				}
+				continue
+			}
+			instrs++
+			cyc++
+		}
+	}
+	if cyc == start {
+		return
+	}
+
+	// Bulk accounting: exactly what cyc-start Steps over this stretch would
+	// have accumulated. Single-requester arbitration is always granted,
+	// never merged, never stalled, so each executed instruction is one IM
+	// request and access, and each load/store one granted DM request.
+	n := cyc - start
+	p.ctr.Cycles += n
+	p.ctr.Instrs += instrs
+	p.ctr.CoreActive += instrs
+	p.ctr.CoreStall += bubbles
+	p.ctr.BranchBubbles += taken
+	p.ctr.UngatedCoreCycles += n
+	p.ctr.CoreGated += n * gated
+	p.ctr.CoreHalted += n * halted
+	p.ctr.IMReqs += instrs
+	p.ctr.IMAccesses += instrs
+	p.ctr.XbarReqs += instrs + reads + writes
+	p.ctr.DMReqs += reads + writes
+	p.ctr.DMReads += reads
+	p.ctr.DMWrites += writes
+	p.perCoreBusy[anchor] += n
+	p.windowBusy[anchor] += uint32(n)
+	p.cycle = cyc
+	p.sync.FastForward(cyc)
+	p.imx.AdvanceN(n)
+	p.dmx.AdvanceN(n)
+	p.lastCycleIdle = false
+	p.block.runs++
+	p.block.cycles += n
+
+	// Spin-detector hygiene: the stretch was not stepped, so the anchor's
+	// PC history is stale and any armed probe assumed contiguity it no
+	// longer has. Reset both; detection resumes on the stepped path.
+	p.spin.track[anchor].Reset()
+	if p.spin.armed {
+		p.spin.armed = false
+		p.spin.nextCheck = p.cycle + spinRecheck
+	}
+}

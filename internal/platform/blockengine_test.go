@@ -1,0 +1,333 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// enc builds one encoded instruction word for hand-assembled programs.
+func enc(op isa.Opcode, rd, rs1, rs2 uint8, imm int32) isa.Word {
+	return isa.MustEncode(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// diffPrologue sets up the register file every differential program starts
+// from: two data-dependent operands, a data-segment base and a small shift
+// count — enough straight-line work for the block engine to engage before
+// the instruction under test.
+func diffPrologue() []isa.Word {
+	return []isa.Word{
+		enc(isa.OpADDI, 1, 0, 0, 423), // r1 = 0x01A7
+		enc(isa.OpADDI, 2, 0, 0, -29), // r2 = 0xFFE3
+		enc(isa.OpADDI, 4, 0, 0, 256), // r4 = data base
+		enc(isa.OpADDI, 5, 0, 0, 3),   // r5 = shift count
+	}
+}
+
+// diffProgram wraps a body with the shared prologue, two marker stores for
+// control-flow visibility (branch/jump targets land between them) and an
+// epilogue that writes results to memory before halting.
+func diffProgram(body ...isa.Word) []isa.Word {
+	w := diffPrologue()
+	w = append(w, body...)
+	w = append(w,
+		enc(isa.OpADDI, 6, 0, 0, 111), // marker: skipped by taken +1 branches
+		enc(isa.OpADDI, 7, 0, 0, 222), // marker: branch/jump land here
+		enc(isa.OpSW, 0, 4, 3, 0),     // mem[256] = r3
+		enc(isa.OpSW, 0, 4, 6, 1),     // mem[257] = r6
+		enc(isa.OpSW, 0, 4, 7, 2),     // mem[258] = r7
+		enc(isa.OpHALT, 0, 0, 0, 0),
+	)
+	return w
+}
+
+// diffImage builds a single-core image around the given code.
+func diffImage(words []isa.Word, nsync int) *Image {
+	img := &Image{
+		Code:          []CodeSeg{{Base: 0, Words: words}},
+		Entries:       []int{0},
+		NumSyncPoints: nsync,
+		Shared: []DataSeg{
+			{Base: 256, Words: []uint16{0xB00F, 0x1234, 0xBEEF, 0, 0, 0, 0, 0}},
+		},
+	}
+	if nsync > 0 {
+		// Back the sync-point mirror with powered shared memory.
+		img.Shared = append(img.Shared, DataSeg{Base: 0, Words: make([]uint16, 4)})
+	}
+	return img
+}
+
+// runDiffPair runs one image through both engines (no tracer: the regime in
+// which the block engine engages) and returns the platforms and Run errors.
+func runDiffPair(t *testing.T, img *Image, budget uint64) (exact, fast *Platform, exactErr, fastErr error) {
+	t.Helper()
+	build := func(exactMode bool) (*Platform, error) {
+		cfg := scCfg()
+		cfg.Exact = exactMode
+		p, err := New(cfg, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, p.Run(budget)
+	}
+	exact, exactErr = build(true)
+	fast, fastErr = build(false)
+	return exact, fast, exactErr, fastErr
+}
+
+// assertDiffIdentical is the differential contract: identical Run outcome,
+// counters, architectural state, memory and violations — and the fast run
+// must actually have used the block engine while the exact run must not.
+func assertDiffIdentical(t *testing.T, exact, fast *Platform, exactErr, fastErr error) {
+	t.Helper()
+	if (exactErr == nil) != (fastErr == nil) {
+		t.Fatalf("run outcomes diverge: exact err %v, fast err %v", exactErr, fastErr)
+	}
+	if exactErr != nil && exactErr.Error() != fastErr.Error() {
+		t.Errorf("fault messages diverge:\nexact: %v\nfast:  %v", exactErr, fastErr)
+	}
+	assertIdenticalNoTrace(t, exact, fast)
+	ev, fv := exact.Violations(), fast.Violations()
+	if len(ev) != len(fv) {
+		t.Errorf("violations diverge: exact %v, fast %v", ev, fv)
+	}
+	for addr := uint16(256); addr < 264; addr++ {
+		e, eok := exact.PeekData(0, addr)
+		f, fok := fast.PeekData(0, addr)
+		if e != f || eok != fok {
+			t.Errorf("mem[%d] diverges: exact %d(%v), fast %d(%v)", addr, e, eok, f, fok)
+		}
+	}
+	if exact.BlockCycles() != 0 {
+		t.Errorf("exact mode executed %d block-engine cycles, want 0", exact.BlockCycles())
+	}
+	if fast.BlockCycles() == 0 {
+		t.Error("block engine never engaged on the fast run")
+	}
+}
+
+// TestBlockEngineOpcodeDifferential drives every opcode of every format
+// through both engines on single-core programs — including both directions
+// of every conditional branch, the dynamic-target JALR, the sync ISE (which
+// the block engine must yield around), and an invalid encoding (which must
+// fault identically).
+func TestBlockEngineOpcodeDifferential(t *testing.T) {
+	type prog struct {
+		name  string
+		words []isa.Word
+		nsync int
+	}
+	var progs []prog
+	add := func(name string, nsync int, body ...isa.Word) {
+		progs = append(progs, prog{name, diffProgram(body...), nsync})
+	}
+
+	for op := isa.Opcode(0); op.Valid(); op++ {
+		switch {
+		case op.Fmt() == isa.FmtR:
+			add(op.String(), 0, enc(op, 3, 1, 2, 0))
+			add(op.String()+"/shift", 0, enc(op, 3, 1, 5, 0))
+		case op == isa.OpLW:
+			add("lw", 0, enc(op, 3, 4, 0, 2))
+		case op == isa.OpSW:
+			add("sw", 0, enc(op, 0, 4, 1, 3))
+		case op.IsBranch():
+			// +1 skips the first marker when taken. (r1,r2) and (r1,r1)
+			// operand pairs exercise both outcomes for every predicate.
+			add(op.String()+"/mixed", 0, enc(op, 0, 1, 2, 1))
+			add(op.String()+"/equal", 0, enc(op, 0, 1, 1, 1))
+		case op == isa.OpJAL:
+			add("jal", 0, enc(op, 3, 0, 0, 1))
+		case op == isa.OpJALR:
+			// r5 = 3, so imm 2 targets PC 5: the instruction after the
+			// prologue and this jump.
+			add("jalr", 0, enc(op, 3, 5, 0, 2))
+		case op.IsSync():
+			// SDEC on a zero point also records a protocol violation; both
+			// engines must agree on it.
+			add(op.String(), 1, enc(op, 0, 0, 0, 0))
+		case op == isa.OpSLEEP:
+			// No ADC, no wake source: the core gates forever and the rest
+			// of the budget is idle in both modes.
+			add("sleep", 0, enc(op, 0, 0, 0, 0))
+		case op == isa.OpHALT:
+			add("halt", 0, enc(op, 0, 0, 0, 0))
+		default: // NOP
+			add(op.String(), 0, enc(op, 0, 0, 0, 0))
+		}
+	}
+	// An invalid encoding must fault identically from both paths.
+	progs = append(progs, prog{"invalid", diffProgram(isa.Word(63) << 18), 0})
+
+	for _, pr := range progs {
+		pr := pr
+		t.Run(pr.name, func(t *testing.T) {
+			exact, fast, exactErr, fastErr := runDiffPair(t, diffImage(pr.words, pr.nsync), 2000)
+			assertDiffIdentical(t, exact, fast, exactErr, fastErr)
+		})
+	}
+}
+
+// blockKernelWords is a fast-forward-resistant compute kernel: a long
+// unrolled ALU body with a store per iteration (side effects defeat the spin
+// detector; its backward jump is far longer than any spin signature) and no
+// sleep or ADC dependence (nothing for the idle engine). Every cycle is
+// compute-bound, so the block engine carries essentially the whole run.
+func blockKernelWords() []isa.Word {
+	w := []isa.Word{
+		enc(isa.OpADDI, 4, 0, 0, 256), // data pointer
+		enc(isa.OpADDI, 1, 0, 0, 1),
+	}
+	loop := int32(len(w))
+	for i := 0; i < 10; i++ {
+		w = append(w,
+			enc(isa.OpADD, 2, 1, 1, 0),
+			enc(isa.OpXOR, 3, 2, 1, 0),
+			enc(isa.OpADDI, 1, 1, 0, 1),
+			enc(isa.OpSRLI, 2, 3, 0, 1),
+		)
+	}
+	w = append(w, enc(isa.OpSW, 0, 4, 3, 0))
+	w = append(w, enc(isa.OpJAL, 0, 0, 0, loop-int32(len(w))-1))
+	return w
+}
+
+func blockKernelImage() *Image {
+	return &Image{
+		Code:    []CodeSeg{{Base: 0, Words: blockKernelWords()}},
+		Entries: []int{0},
+		Shared:  []DataSeg{{Base: 256, Words: make([]uint16, 4)}},
+	}
+}
+
+// TestBlockEngineSnapshotMidBlock pins the process-state contract: a
+// snapshot taken while the block engine is mid-stride (the budget boundary
+// falls inside a basic block) restores onto a fresh platform, forks onto a
+// new one, and both — like the original continuing — stay bit-identical to
+// an exact straight-through run.
+func TestBlockEngineSnapshotMidBlock(t *testing.T) {
+	const total, first = 50_000, 12_345
+	cfg := scCfg()
+
+	cfg.Exact = true
+	exact, err := New(cfg, blockKernelImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exact.Run(total); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Exact = false
+	fast, err := New(cfg, blockKernelImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Run(first); err != nil {
+		t.Fatal(err)
+	}
+	if fast.BlockCycles() == 0 {
+		t.Fatal("block engine never engaged on the compute kernel")
+	}
+	snap := fast.Snapshot()
+
+	restored, err := New(cfg, blockKernelImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.BlockRuns() != 0 || restored.BlockCycles() != 0 {
+		t.Errorf("restored platform reports %d runs / %d cycles, want fresh diagnostics",
+			restored.BlockRuns(), restored.BlockCycles())
+	}
+
+	fork, err := fast.Fork(fast.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, p := range map[string]*Platform{"original": fast, "restored": restored, "forked": fork} {
+		if err := p.Run(total - first); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertIdenticalNoTrace(t, exact, p)
+		if v, _ := exact.PeekData(0, 256); func() uint16 { w, _ := p.PeekData(0, 256); return w }() != v {
+			t.Errorf("%s: kernel output diverges", name)
+		}
+	}
+}
+
+// TestBlockEngineTracerInhibits: with an event recorder attached the block
+// engine must stay off (block stretches are not trace-silent in general),
+// and the traced fast run stays bit-identical to the traced exact run.
+func TestBlockEngineTracerInhibits(t *testing.T) {
+	build := func(exactMode bool) *Platform {
+		cfg := scCfg()
+		cfg.Exact = exactMode
+		p, err := New(cfg, blockKernelImage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetTracer(trace.NewRecorder(1 << 16))
+		if err := p.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	exact, fast := build(true), build(false)
+	assertIdentical(t, exact, fast)
+	if fast.BlockCycles() != 0 {
+		t.Errorf("block engine executed %d cycles with a tracer attached, want 0", fast.BlockCycles())
+	}
+}
+
+// TestBlockEngineYieldsSpinLoops: a tight single-core poll loop on a banked
+// address is the one busy regime the block engine must not keep — executing
+// it beats Step but loses to the spin engine's O(1) leap. The engine must
+// yield after the first taken backward branch and the spin engine must then
+// carry the run, bit-identically.
+func TestBlockEngineYieldsSpinLoops(t *testing.T) {
+	words := []isa.Word{
+		enc(isa.OpADDI, 7, 0, 0, 200),
+		enc(isa.OpADDI, 2, 0, 0, 0),
+		enc(isa.OpLW, 1, 7, 0, 0),   // wait: r1 = mem[200] (always 0)
+		enc(isa.OpBEQ, 0, 1, 2, -2), // spin forever
+	}
+	img := func() *Image {
+		return &Image{
+			Code:    []CodeSeg{{Base: 0, Words: words}},
+			Entries: []int{0},
+			Shared:  []DataSeg{{Base: 200, Words: []uint16{0}}},
+		}
+	}
+	const budget = 30_000
+	cfg := scCfg()
+	cfg.Exact = true
+	exact, err := New(cfg, img())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exact.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exact = false
+	fast, err := New(cfg, img())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalNoTrace(t, exact, fast)
+	if fast.SpinSkippedCycles() < budget/2 {
+		t.Errorf("spin engine skipped only %d of %d cycles; the block engine must yield spin loops",
+			fast.SpinSkippedCycles(), budget)
+	}
+	if fast.BlockCycles() > 64 {
+		t.Errorf("block engine executed %d cycles of a spin loop, want only the pre-yield prefix", fast.BlockCycles())
+	}
+}

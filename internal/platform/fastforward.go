@@ -38,14 +38,24 @@ import (
 // Run simulates up to n further cycles, stopping early when every core has
 // halted or a fault occurs. Unless the platform is in exact mode, quiescent
 // stretches are leapt over in bulk, and — when no event tracer is attached —
-// proven-periodic spin-loop stretches too (spinff.go); the observable
-// behaviour is identical either way.
+// proven-periodic spin-loop stretches too (spinff.go), while single-core
+// compute-bound stretches execute on the basic-block fast path
+// (blockengine.go); the observable behaviour is identical either way.
 func (p *Platform) Run(n uint64) error {
 	p.spinSetTracking(!p.exact && p.tracer == nil)
 	limit := p.cycle + n
 	for p.cycle < limit {
 		if !p.exact && p.lastCycleIdle {
 			p.fastForward(limit)
+			if p.cycle >= limit {
+				return nil
+			}
+		}
+		if p.spin.tracking {
+			// The block engine shares the spin engine's gate: no tracer, not
+			// exact. It only ever executes cycles Step would have executed
+			// identically, so it may run right up to the budget.
+			p.blockRun(limit)
 			if p.cycle >= limit {
 				return nil
 			}

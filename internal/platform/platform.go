@@ -11,15 +11,18 @@
 // # Simulation engine
 //
 // Run is a multi-mode engine over one cycle-accurate core: Step (step.go)
-// simulates a single platform cycle in seven phases, and two fast-forward
+// simulates a single platform cycle in seven phases, two fast-forward
 // paths leap over stretches Step would simulate without anything
 // observable happening — fully quiescent stretches (fastforward.go: every
 // core halted, gated or inside its wake latency) and proven-periodic
 // spin-loop stretches (spinff.go: every running core busy-waiting in a
-// side-effect-free loop, the MC-nosync idiom). Both leaps are bit-identical
-// to stepping; Config.Exact / SetExact force the cycle-by-cycle path as an
-// escape hatch and as the reference the golden-equivalence tests compare
-// against.
+// side-effect-free loop, the MC-nosync idiom) — and a basic-block engine
+// (blockengine.go) executes single-core compute-bound stretches from
+// per-image predecoded block tables with bulk accounting, removing Step's
+// per-cycle dispatch overhead without skipping any work. All three are
+// bit-identical to stepping; Config.Exact / SetExact force the
+// cycle-by-cycle path as an escape hatch and as the reference the
+// golden-equivalence tests compare against.
 //
 // # Snapshots
 //
@@ -141,6 +144,9 @@ type Platform struct {
 
 	// Spin-loop fast-forward engine state (see spinff.go).
 	spin spinFF
+
+	// Basic-block execution engine state (see blockengine.go).
+	block blockEngine
 
 	perCoreBusy []uint64 // executed+stalled+bubble cycles per core
 
@@ -274,12 +280,15 @@ func New(cfg Config, img *Image) (*Platform, error) {
 		}
 	}
 
-	// Load code (powers the covered IM banks).
+	// Load code (powers the covered IM banks) and derive the basic-block
+	// tables the block execution engine runs from. Code is immutable after
+	// load, so one analysis pass per platform suffices.
 	for _, seg := range img.Code {
 		if err := p.imem.Load(seg.Base, seg.Words); err != nil {
 			return nil, err
 		}
 	}
+	p.block.set = mem.AnalyzeBlocks(p.imem)
 	// Load data through the address mapping.
 	load := func(coreID int, base uint16, words []uint16) error {
 		for i, w := range words {

@@ -201,7 +201,11 @@ func (p *Platform) adopt(s *Snapshot) error {
 	// snapshots deliberately omit it and restoring simply re-detects. This
 	// keeps Restore/Fork bit-identical to never having stopped while
 	// letting leap placement differ — exactly like Run-call chunking does.
+	// The block engine's yield span and engagement statistics are process
+	// state for the same reason: a restored platform re-engages from its
+	// block tables wherever the preconditions hold.
 	p.spinReset()
+	p.blockReset()
 	return nil
 }
 

@@ -192,8 +192,11 @@ func (p *Platform) Step() error {
 	// any work at all; a fully idle cycle arms the fast-forward engine
 	// (fastforward.go), which may leap over the identical cycles to come.
 	idle := true
+	tracing := p.tracer != nil
+	statusChanged := false
 	for c := 0; c < p.ncore; c++ {
-		switch p.status[c] {
+		st := p.status[c]
+		switch st {
 		case stExec:
 			idle = false
 			p.ctr.CoreActive++
@@ -217,6 +220,9 @@ func (p *Platform) Step() error {
 		case stHalted:
 			p.ctr.CoreHalted++
 		}
+		if tracing && st != p.lastStatus[c] {
+			statusChanged = true
+		}
 	}
 	// Per-sample-window worst-case tracking.
 	if p.adc != nil {
@@ -234,9 +240,10 @@ func (p *Platform) Step() error {
 		}
 	}
 
-	// Optional event tracing: state transitions only, so idle stretches
-	// cost nothing.
-	if p.tracer != nil {
+	// Optional event tracing: state transitions only, detected during the
+	// accounting loop above, so both untraced runs and steady-state traced
+	// stretches skip this walk entirely.
+	if tracing && statusChanged {
 		for c := 0; c < p.ncore; c++ {
 			st := p.status[c]
 			if st == p.lastStatus[c] {

@@ -142,6 +142,9 @@ func assertFFEquivalent(t *testing.T, cores int, exact, fast *platform.Platform)
 		t.Errorf("exact mode skipped cycles: idle %d, spin %d; want 0",
 			exact.FFSkippedCycles(), exact.SpinSkippedCycles())
 	}
+	if exact.BlockCycles() != 0 {
+		t.Errorf("exact mode ran %d cycles on the block engine; want 0", exact.BlockCycles())
+	}
 }
 
 // TestScenarioFastForwardGoldenEquivalence is the spin-engine acceptance
@@ -168,6 +171,9 @@ func TestScenarioFastForwardGoldenEquivalence(t *testing.T) {
 				}
 				if arch == power.MCNoSync && app != apps.MF3L && fast.SpinSkippedCycles() == 0 {
 					t.Error("spin fast-forward never engaged on a busy-wait scenario cell")
+				}
+				if arch == power.SC && fast.BlockCycles() == 0 {
+					t.Error("block engine never engaged on the single-core cell")
 				}
 			})
 		}

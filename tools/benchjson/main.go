@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result line. It exists so
+// performance trajectories can be committed as data files (BENCH_engine.json)
+// and diffed across commits without parsing the free-form bench text again.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BlockEngine -benchtime 1x | go run ./tools/benchjson
+//
+// A benchmark line has the shape
+//
+//	BenchmarkBlockEngine/exact-8    1    52431875 ns/op    2000000 cycles/s
+//
+// name, iteration count, then value/unit pairs. The "ns/op" value lands in
+// its own field; every other pair (including testing.B.ReportMetric custom
+// metrics such as "cycles/s" or "uW") goes into the metrics map keyed by
+// unit. Non-benchmark lines (goos/goarch headers, PASS, ok, log output) are
+// ignored, so the whole `go test` stream can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement. Units with characters JSON keys
+// tolerate but Go identifiers do not (percent signs, slashes) stay verbatim
+// in Metrics.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseLine decodes one benchmark result line, reporting ok=false for
+// anything that is not one.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+	os.Stdout.Write([]byte("\n"))
+}
