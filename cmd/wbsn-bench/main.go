@@ -141,6 +141,8 @@ func (b *bench) runScenario(ctx context.Context, path string, applyFlags func(*e
 func main() {
 	experiment := flag.String("experiment", "all", "table1, fig6, fig7 or all")
 	scenarios := flag.String("scenario", "", "comma-separated scenario files; when set, only the scenario grids run")
+	syncSpecs := flag.String("sync", "", "semicolon-separated sync-architecture descriptors (preset names or structural specs like 'multi,groups=0x0F+0x18,timeout=50000000'); when set, only that (app x descriptor) grid runs")
+	appNames := flag.String("app", "", "comma-separated applications for the -sync grid (default: all)")
 	duration := flag.Float64("duration", 10, "simulated seconds per measured run (paper: 60)")
 	probe := flag.Float64("probe", 2.5, "simulated seconds per operating-point probe")
 	patho := flag.Float64("pathological", 0.2, "RP-CLASS pathological-beat share for table1/fig6")
@@ -187,6 +189,47 @@ func main() {
 		b.sweep.Progress = exp.ProgressPrinter(os.Stderr)
 	}
 	b.loadCheckpoint()
+
+	if *syncSpecs != "" && *scenarios != "" {
+		fmt.Fprintln(os.Stderr, "-sync and -scenario both select the whole grid; pick one (scenario files can declare descriptors in their \"sync\" stanza instead)")
+		os.Exit(1)
+	}
+	if *syncSpecs != "" {
+		// Sync-architecture sweep: one grid of the chosen applications
+		// against an explicit descriptor list. Descriptors are separated by
+		// semicolons because structural specs contain commas.
+		var archs []power.Arch
+		for _, spec := range strings.Split(*syncSpecs, ";") {
+			arch, err := power.ParseArchSpec(strings.TrimSpace(spec))
+			if err != nil {
+				b.fail("sync", err)
+			}
+			archs = append(archs, arch)
+		}
+		names := apps.Names
+		if *appNames != "" {
+			names = nil
+			for _, n := range strings.Split(*appNames, ",") {
+				names = append(names, strings.TrimSpace(n))
+			}
+		}
+		points := exp.Grid(names, archs, opts)
+		ms, err := b.sweep.Run(ctx, points)
+		if err != nil {
+			b.fail("sync", err)
+		}
+		b.emit(exp.JSONPoints("sync", points, ms), func() {
+			fmt.Println("== sync-architecture sweep: solved operating points per descriptor ==")
+			fmt.Print(exp.FormatPoints(points, ms))
+			fmt.Println()
+		})
+		b.flushJSON()
+		b.saveCheckpoint()
+		if !*quiet {
+			b.printSessionStats()
+		}
+		return
+	}
 
 	if *scenarios != "" {
 		// Explicitly-set flags override the scenario files' values (the

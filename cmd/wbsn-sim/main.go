@@ -32,6 +32,14 @@ import (
 	"repro/internal/trace"
 )
 
+// Distinct exit statuses for CI smoke tests: a run that ended with the sync
+// unit's timeout IRQ fired, or wedged in a detected deadlock, must be
+// distinguishable both from success and from generic failures (exit 1).
+const (
+	exitSyncTimeout = 3 // the sync unit's per-core timeout fired during the run
+	exitDeadlock    = 4 // the run ended with gated cores and no wake source
+)
+
 // checkpointMeta assembles the identity a single-run checkpoint must match
 // to be resumed: the snapshot alone cannot prove it belongs to this program
 // image and input record, so the full configuration is recorded beside it
@@ -100,7 +108,8 @@ func writeCheckpoint(path string, meta map[string]string, p *platform.Platform) 
 
 func main() {
 	app := flag.String("app", apps.MF3L, "application: 3l-mf, 3l-mmd, rp-class")
-	archName := flag.String("arch", "mc", "architecture: sc, mc, mc-nosync")
+	archName := flag.String("arch", "mc", "architecture preset: sc, mc, mc-nosync (or any registered descriptor name)")
+	syncSpec := flag.String("sync", "", "sync-architecture descriptor overriding -arch: a registered name (e.g. from a scenario \"sync\" stanza) or a structural spec like 'multi,groups=0x0F+0x18,timeout=50000000'")
 	clock := flag.Float64("clock-mhz", 1.0, "platform clock in MHz")
 	voltage := flag.Float64("voltage", 0.5, "supply voltage in V")
 	duration := flag.Float64("duration", 5, "simulated seconds")
@@ -175,7 +184,16 @@ func main() {
 		return
 	}
 
-	arch := map[string]power.Arch{"sc": power.SC, "mc": power.MC, "mc-nosync": power.MCNoSync}[*archName]
+	// -sync takes precedence over -arch; both resolve through the registry,
+	// so scenario-registered custom descriptors work in either flag.
+	spec := *archName
+	if *syncSpec != "" {
+		spec = *syncSpec
+	}
+	arch, err := power.ParseArchSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
 	v, err := apps.Build(*app, arch)
 	if err != nil {
 		fatal(err)
@@ -293,11 +311,26 @@ func main() {
 	if viol := p.Violations(); len(viol) > 0 {
 		fmt.Printf("  sync violations: %v\n", viol)
 	}
+	if c.SyncTimeouts > 0 {
+		fmt.Printf("  sync timeouts: %d\n", c.SyncTimeouts)
+	}
 	if rec != nil {
 		fmt.Printf("\nevent trace:\n%s", rec.Summary())
 		if err := rec.WriteTimeline(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+	// The full report has printed; now degrade the exit status if the run
+	// ended badly. Deadlock wins over timeout: a descriptor whose timeout
+	// fired but recovered kept making progress, a wedged platform did not.
+	if diag := p.DeadlockDiagnosis(); diag != "" {
+		fmt.Fprintf(os.Stderr, "wbsn-sim: %s\n", diag)
+		os.Exit(exitDeadlock)
+	}
+	if c.SyncTimeouts > 0 {
+		fmt.Fprintf(os.Stderr, "wbsn-sim: %d sync timeout(s) fired and recovered via IRQ; raise the descriptor's timeout_cycles or fix the rendezvous\n",
+			c.SyncTimeouts)
+		os.Exit(exitSyncTimeout)
 	}
 }
 

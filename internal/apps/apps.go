@@ -105,16 +105,49 @@ func Build(app string, arch power.Arch) (*Variant, error) {
 	return nil, fmt.Errorf("apps: unknown application %q", app)
 }
 
-// stratFor maps the architecture to the synchronization lowering.
+// stratFor maps the architecture descriptor to the synchronization
+// lowering, structurally: any single-core descriptor lowers sequentially,
+// any busy-wait descriptor lowers to active waiting on shared flags, and
+// everything else — the paper's MC preset and every custom sync-unit
+// descriptor — lowers to the sync ISE.
 func stratFor(arch power.Arch) strategy {
-	switch arch {
-	case power.SC:
+	switch {
+	case !arch.IsMulti():
 		return stratSC
-	case power.MCNoSync:
+	case arch.BusyWait:
 		return stratBusy
 	default:
 		return stratSync
 	}
+}
+
+// pointGroups assigns each sync point to the hardware sync group that
+// serves it under arch: the lowest declared group whose membership covers
+// every core touching the point (pointCores maps point symbols to core
+// bitmasks). The presets — and any descriptor with a single implicit
+// all-core group — return nil, keeping every point on group 0 and the
+// generated assembly identical to the pre-descriptor lowering. A custom
+// descriptor none of whose groups covers a point is a mapping error: the
+// hardware could never release that rendezvous.
+func pointGroups(arch power.Arch, pointCores map[string]uint8) (map[string]int, error) {
+	if arch.NumGroups() <= 1 {
+		return nil, nil
+	}
+	m := make(map[string]int, len(pointCores))
+	for pt, cores := range pointCores {
+		found := false
+		for g := 0; g < arch.NumGroups(); g++ {
+			if arch.GroupMask(g)&cores == cores {
+				m[pt] = g
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("apps: no sync group of %v covers point %s (cores %#02x)", arch, pt, cores)
+		}
+	}
+	return m, nil
 }
 
 // Addr looks up a linker symbol as a data address.

@@ -106,12 +106,20 @@ type kgen struct {
 	// lockPoint is the sync point used for lock-step recovery regions;
 	// empty disables them (single-core phases and busy-wait lowering).
 	lockPoint string
+	// groups maps sync points to the hardware sync group serving them on a
+	// descriptor architecture with more than one group (see pointGroups).
+	// nil — the presets' case — keeps every point on group 0, the paper's
+	// single barrier, so the generated assembly is unchanged.
+	groups map[string]int
 }
+
+// groupOf returns the sync group a point is served by (0 when unmapped).
+func (g *kgen) groupOf(point string) int { return g.groups[point] }
 
 // syncRegion wraps body in the lock-step recovery idiom when enabled.
 func (g *kgen) syncRegion(body func()) {
 	if g.strat == stratSync && g.lockPoint != "" {
-		g.b.SyncRegion(g.lockPoint, body)
+		g.b.SyncRegionG(g.lockPoint, g.groupOf(g.lockPoint), body)
 		return
 	}
 	body()
@@ -588,13 +596,13 @@ func (g *kgen) emitSubscribeOwnChannel(id *prog.Reg) {
 // busy lowering relies on the consumer polling the counters.
 func (g *kgen) produceBegin(point string) {
 	if g.strat == stratSync {
-		g.b.Sinc(point)
+		g.b.SincG(point, g.groupOf(point))
 	}
 }
 
 func (g *kgen) produceEnd(point string) {
 	if g.strat == stratSync {
-		g.b.Sdec(point)
+		g.b.SdecG(point, g.groupOf(point))
 	}
 }
 
@@ -608,7 +616,7 @@ func (g *kgen) consumerWait(point string, check func(haveLabel string)) {
 	have := b.NewLabel("chave")
 	b.Label(top)
 	if g.strat == stratSync {
-		b.Snop(point)
+		b.SnopG(point, g.groupOf(point))
 	}
 	check(have)
 	if g.strat == stratSync {

@@ -73,8 +73,14 @@ func buildMF(arch power.Arch) (*Variant, error) {
 
 	// Multi-core: one filter phase replicated on three cores. Rings live
 	// in private memory at identical logical addresses (ATU isolation).
+	pgroups, err := pointGroups(arch, map[string]uint8{
+		"PT_LOCK": 0x07, // lock-step recovery across the replicated filters
+	})
+	if err != nil {
+		return nil, err
+	}
 	b := prog.New("mf_filter")
-	g := &kgen{b: b, strat: strat, lockPoint: "PT_LOCK"}
+	g := &kgen{b: b, strat: strat, lockPoint: "PT_LOCK", groups: pgroups}
 	d.equ("PT_LOCK", 0)
 	rings := declareMFRings(d, "mfr", p, 0)
 

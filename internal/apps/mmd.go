@@ -36,9 +36,23 @@ func buildMMD(arch power.Arch) (*Variant, error) {
 		return buildMMDSC(d, mfp, mmp, combRing)
 	}
 
+	// Sync points and the cores touching each: the replicated filters
+	// (0-2) recover lock-step among themselves, produce for the combiner
+	// (3) over PT_F2C, and the combiner feeds the delineator (4) over
+	// PT_C2D. A descriptor with more than one sync group splits these
+	// rendezvous across its groups.
+	pgroups, err := pointGroups(arch, map[string]uint8{
+		"PT_F2C":  0x0F, // filters 0-2 produce, combiner 3 consumes
+		"PT_C2D":  0x18, // combiner 3 produces, delineator 4 consumes
+		"PT_LOCK": 0x07, // lock-step recovery across the replicated filters
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// --- filter phase: one segment replicated on cores 0-2 ---
 	fb := prog.New("mmd_filter")
-	fg := &kgen{b: fb, strat: strat, lockPoint: "PT_LOCK"}
+	fg := &kgen{b: fb, strat: strat, lockPoint: "PT_LOCK", groups: pgroups}
 	d.equ("PT_LOCK", 2)
 	d.equ("PT_F2C", 0)
 	d.equ("PT_C2D", 1)
@@ -76,7 +90,7 @@ func buildMMD(arch power.Arch) (*Variant, error) {
 
 	// --- combiner: consumes the three conditioned streams ---
 	cb := prog.New("mmd_comb_code")
-	cg := &kgen{b: cb, strat: strat}
+	cg := &kgen{b: cb, strat: strat, groups: pgroups}
 	cb.Label("mmd_c_entry")
 	c := cb.Reg()
 	cb.Li(c, 0)
@@ -130,7 +144,7 @@ func buildMMD(arch power.Arch) (*Variant, error) {
 
 	// --- delineator: consumes the combined stream ---
 	db := prog.New("mmd_delin_code")
-	dg := &kgen{b: db, strat: strat}
+	dg := &kgen{b: db, strat: strat, groups: pgroups}
 	detRing := d.newRing("mmd_det", 64, 4)
 	d.space("mmd_st", stSlots, 4)
 	db.Label("mmd_d_entry")

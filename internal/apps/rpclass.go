@@ -333,9 +333,19 @@ func buildRPClass(arch power.Arch) (*Variant, error) {
 	d.equ("PT_C", 2)
 	d.equ("PT_LOCK", 3)
 
+	pgroups, err := pointGroups(arch, map[string]uint8{
+		"PT_A":    0x1F, // core 0 produces; classifier 1 and chain 2-4 consume
+		"PT_B":    0x1E, // classifier 1 kicks the chain cores 2-4
+		"PT_C":    0x3C, // chain 2-4 produce, delineator 5 consumes
+		"PT_LOCK": 0x1C, // lock-step recovery across the chain cores
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// --- core 0: acquisition + lead-0 conditioning ---
 	ab := prog.New("rp_cond")
-	ag := &kgen{b: ab, strat: strat}
+	ag := &kgen{b: ab, strat: strat, groups: pgroups}
 	condRings := declareMFRings(d, "rp_mfr", mfp, 0)
 	c0 := ring{sym: "rp_c0", len: OutRingLen}
 	raw := [3]ring{
@@ -381,7 +391,7 @@ func buildRPClass(arch power.Arch) (*Variant, error) {
 
 	// --- core 1: beat detection + classification ---
 	cb := prog.New("rp_cls")
-	cg := &kgen{b: cb, strat: strat}
+	cg := &kgen{b: cb, strat: strat, groups: pgroups}
 	d.space("rp_cls_st", clsSlots, 1)
 	d.space("rp_ybuf", rp.K, 1)
 	cb.Label("rp_c_entry")
@@ -412,8 +422,8 @@ func buildRPClass(arch power.Arch) (*Variant, error) {
 		cg.ringAt(v, c, 0, c0)
 		emitClassifierStep(cg, c, v, "rp_cls_st", "rp_ybuf", "rp_scnt0", rp, func() {
 			if strat == stratSync {
-				cb.Sinc("PT_B")
-				cb.Sdec("PT_B")
+				cb.SincG("PT_B", cg.groupOf("PT_B"))
+				cb.SdecG("PT_B", cg.groupOf("PT_B"))
 			}
 		})
 		cb.Addi(c, c, 1)
@@ -425,7 +435,7 @@ func buildRPClass(arch power.Arch) (*Variant, error) {
 
 	// --- cores 2-4: on-demand segment conditioning (lock-step group) ---
 	hb := prog.New("rp_chain")
-	hg := &kgen{b: hb, strat: strat, lockPoint: "PT_LOCK"}
+	hg := &kgen{b: hb, strat: strat, lockPoint: "PT_LOCK", groups: pgroups}
 	chainRings := declareMFRings(d, "rp_chr", chainMFParams(), 2)
 	d.space("rp_ch_slots", 2, 2) // 0: raw base, 1: seg base (per core)
 	hb.Label("rp_h_entry")
@@ -545,7 +555,7 @@ func buildRPClass(arch power.Arch) (*Variant, error) {
 
 	// --- core 5: segment combination + delineation ---
 	db := prog.New("rp_delin")
-	dg := &kgen{b: db, strat: strat}
+	dg := &kgen{b: db, strat: strat, groups: pgroups}
 	combSeg := d.newRing("rp_combseg", 16, 5)
 	detRing := d.newRing("rp_det", 64, 5)
 	d.space("rp_del_st", stSlots, 5)

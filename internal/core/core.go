@@ -70,19 +70,33 @@ type Point struct {
 func (p Point) Value() uint16 { return uint16(p.Flags)<<8 | uint16(p.Counter) }
 
 // op is one posted synchronization operation awaiting end-of-cycle commit.
+// Point operations (SINC/SDEC/SNOP) carry a decoded (group, point) pair;
+// event rendezvous (SEVS) carry the group and its set/wait masks, with
+// point = -1 so the point-merge scan skips them.
 type op struct {
 	core  int
-	kind  isa.Opcode // OpSINC, OpSDEC or OpSNOP
+	kind  isa.Opcode // OpSINC, OpSDEC, OpSNOP or OpSEVS
+	group int
 	point int
+	set   uint8 // SEVS: event bits to set
+	want  uint8 // SEVS: event bits to wait for (0 = fire and forget)
 }
 
 // Synchronizer is the hardware unit orchestrating the run-time behaviour of
 // the multi-core system: it tracks synchronization points, merges same-cycle
-// operations, clock-gates and resumes cores, and forwards interrupts.
+// operations, clock-gates and resumes cores, forwards interrupts, and — per
+// the configured sync-architecture descriptor — scopes barriers to
+// mask-defined core groups, times out overdue gated waits, and hosts one
+// event-bit word per group for SEVS rendezvous.
 type Synchronizer struct {
 	nc      int
 	npoints int
 	points  []Point
+
+	// Descriptor-derived configuration (immutable after construction).
+	ngroups int
+	groups  [power.MaxSyncGroups]uint8 // member-core mask per sync group
+	timeout uint64                     // gated-wait timeout in cycles; 0 = disabled
 
 	state  [isa.MaxCores]CoreState
 	wakeAt [isa.MaxCores]uint64 // cycle at which a waking core resumes fetch
@@ -90,6 +104,17 @@ type Synchronizer struct {
 
 	irqSub  [isa.MaxCores]uint16
 	irqPend [isa.MaxCores]uint16
+
+	// Event-group rendezvous state (SEVS).
+	eventBits [power.MaxSyncGroups]uint8 // currently set event bits per group
+	eventWant [isa.MaxCores]uint8        // pattern each core waits for; 0 = none
+	eventGrp  [isa.MaxCores]uint8        // group of the core's pending wait
+
+	// timeoutAt holds the armed per-core wait deadline (0 = unarmed). A
+	// deadline arms when a core is gated while registered on a point or
+	// event rendezvous, and fires a recoverable sync-timeout IRQ when the
+	// commit cycle reaches it.
+	timeoutAt [isa.MaxCores]uint64
 
 	pending []op
 	cycle   uint64
@@ -117,9 +142,11 @@ const WakeLatency = 2
 const maxViolations = 16
 
 // NewSynchronizer returns a synchronizer for nc cores and npoints
-// synchronization points, accounting activity into ctr. Cores outside
-// [0,nc) are StateOff.
-func NewSynchronizer(nc, npoints int, ctr *power.Counters) *Synchronizer {
+// synchronization points, configured by the sync-architecture descriptor
+// cfg and accounting activity into ctr. Cores outside [0,nc) are StateOff.
+// Group masks are clipped to the instantiated cores; the presets' implicit
+// all-core group therefore spans exactly cores [0,nc).
+func NewSynchronizer(nc, npoints int, cfg power.Arch, ctr *power.Counters) *Synchronizer {
 	if nc <= 0 || nc > isa.MaxCores {
 		panic(fmt.Sprintf("core: invalid core count %d", nc))
 	}
@@ -127,7 +154,13 @@ func NewSynchronizer(nc, npoints int, ctr *power.Counters) *Synchronizer {
 		nc:      nc,
 		npoints: npoints,
 		points:  make([]Point, npoints),
+		ngroups: cfg.NumGroups(),
+		timeout: cfg.TimeoutCycles,
 		ctr:     ctr,
+	}
+	coreMask := uint8(1<<uint(nc) - 1)
+	for g := 0; g < s.ngroups; g++ {
+		s.groups[g] = cfg.GroupMask(g) & coreMask
 	}
 	for c := nc; c < isa.MaxCores; c++ {
 		s.state[c] = StateOff
@@ -153,14 +186,68 @@ func (s *Synchronizer) violate(format string, args ...any) {
 	}
 }
 
+// NumGroups returns the number of configured sync groups.
+func (s *Synchronizer) NumGroups() int { return s.ngroups }
+
+// GroupMask returns the member-core mask of sync group g (clipped to the
+// instantiated cores).
+func (s *Synchronizer) GroupMask(g int) uint8 {
+	if g < 0 || g >= s.ngroups {
+		return 0
+	}
+	return s.groups[g]
+}
+
+// TimeoutCycles returns the configured gated-wait timeout (0 = disabled).
+func (s *Synchronizer) TimeoutCycles() uint64 { return s.timeout }
+
+// TimeoutDeadline returns core c's armed wait deadline, 0 when unarmed.
+func (s *Synchronizer) TimeoutDeadline(c int) uint64 { return s.timeoutAt[c] }
+
+// EventBits returns the currently set event bits of group g.
+func (s *Synchronizer) EventBits(g int) uint8 { return s.eventBits[g] }
+
+// EventWant returns the rendezvous pattern core c is waiting for (0 = none).
+func (s *Synchronizer) EventWant(c int) uint8 { return s.eventWant[c] }
+
 // Post queues a synchronization operation issued by core c this cycle.
-// kind must be OpSINC, OpSDEC or OpSNOP.
-func (s *Synchronizer) Post(c int, kind isa.Opcode, point int) {
-	if point < 0 || point >= s.npoints {
-		s.violate("core %d: %v on out-of-range point %d", c, kind, point)
+// kind must be OpSINC, OpSDEC, OpSNOP or OpSEVS; imm is the instruction's
+// raw 18-bit immediate, carrying the target group alongside the point id
+// (or, for SEVS, the set/wait masks) — see the isa package's sync-operand
+// packing. Operations addressing an undeclared group, a group the issuing
+// core is not a member of, or an out-of-range point are protocol violations
+// and are dropped.
+func (s *Synchronizer) Post(c int, kind isa.Opcode, imm int) {
+	if kind == isa.OpSEVS {
+		g := isa.SevsGroupOf(imm)
+		if g >= s.ngroups {
+			s.violate("core %d: sevs on undeclared group %d", c, g)
+			return
+		}
+		if s.groups[g]&(1<<uint(c)) == 0 {
+			s.violate("core %d: sevs on group %d without membership", c, g)
+			return
+		}
+		s.pending = append(s.pending, op{
+			core: c, kind: kind, group: g, point: -1,
+			set: isa.SevsSetOf(imm), want: isa.SevsWaitOf(imm),
+		})
 		return
 	}
-	s.pending = append(s.pending, op{core: c, kind: kind, point: point})
+	g, point := isa.SyncGroupOf(imm), isa.SyncPointOf(imm)
+	if imm < 0 || point >= s.npoints {
+		s.violate("core %d: %v on out-of-range point %d", c, kind, imm)
+		return
+	}
+	if g >= s.ngroups {
+		s.violate("core %d: %v on undeclared group %d", c, kind, g)
+		return
+	}
+	if s.groups[g]&(1<<uint(c)) == 0 {
+		s.violate("core %d: %v on group %d without membership", c, kind, g)
+		return
+	}
+	s.pending = append(s.pending, op{core: c, kind: kind, group: g, point: point})
 }
 
 // RequestSleep handles core c executing SLEEP. It returns true when the core
@@ -215,14 +302,21 @@ func (s *Synchronizer) Quiescent(cycle uint64) bool {
 // which some core becomes runnable absent new synchronization or interrupt
 // events, and ok=false when no such internally scheduled wake exists (every
 // core is gated or halted, so only an external interrupt can resume
-// execution).
+// execution). Armed wait-timeout deadlines are folded in: a gated core with
+// a deadline will wake (via its timeout IRQ) at that cycle, so the idle
+// fast-forward engine must not leap past it — the deadline cycle is stepped
+// and committed exactly.
 func (s *Synchronizer) NextWake(cycle uint64) (at uint64, ok bool) {
 	for c := 0; c < s.nc; c++ {
-		if s.state[c] != StateRunning || s.wakeAt[c] <= cycle {
-			continue
+		if s.state[c] == StateRunning && s.wakeAt[c] > cycle {
+			if !ok || s.wakeAt[c] < at {
+				at, ok = s.wakeAt[c], true
+			}
 		}
-		if !ok || s.wakeAt[c] < at {
-			at, ok = s.wakeAt[c], true
+		if s.timeout != 0 && s.state[c] == StateGated && s.timeoutAt[c] > cycle {
+			if !ok || s.timeoutAt[c] < at {
+				at, ok = s.timeoutAt[c], true
+			}
 		}
 	}
 	return at, ok
@@ -238,6 +332,13 @@ func (s *Synchronizer) FastForward(cycle uint64) {
 	if len(s.pending) > 0 {
 		panic("core: FastForward with pending synchronization operations")
 	}
+	if s.timeout != 0 {
+		for c := 0; c < s.nc; c++ {
+			if s.state[c] == StateGated && s.timeoutAt[c] != 0 && s.timeoutAt[c] <= cycle {
+				panic("core: FastForward past an armed sync-timeout deadline")
+			}
+		}
+	}
 	s.cycle = cycle
 }
 
@@ -251,6 +352,10 @@ type SyncState struct {
 	Token      [isa.MaxCores]bool
 	IRQSub     [isa.MaxCores]uint16
 	IRQPend    [isa.MaxCores]uint16
+	EventBits  [power.MaxSyncGroups]uint8
+	EventWant  [isa.MaxCores]uint8
+	EventGrp   [isa.MaxCores]uint8
+	TimeoutAt  [isa.MaxCores]uint64
 	Cycle      uint64
 	Violations []string
 }
@@ -264,13 +369,17 @@ func (s *Synchronizer) Snapshot() SyncState {
 		panic("core: Snapshot with pending synchronization operations")
 	}
 	st := SyncState{
-		Points:  append([]Point(nil), s.points...),
-		State:   s.state,
-		WakeAt:  s.wakeAt,
-		Token:   s.token,
-		IRQSub:  s.irqSub,
-		IRQPend: s.irqPend,
-		Cycle:   s.cycle,
+		Points:    append([]Point(nil), s.points...),
+		State:     s.state,
+		WakeAt:    s.wakeAt,
+		Token:     s.token,
+		IRQSub:    s.irqSub,
+		IRQPend:   s.irqPend,
+		EventBits: s.eventBits,
+		EventWant: s.eventWant,
+		EventGrp:  s.eventGrp,
+		TimeoutAt: s.timeoutAt,
+		Cycle:     s.cycle,
 	}
 	if len(s.violations) > 0 {
 		st.Violations = append([]string(nil), s.violations...)
@@ -299,6 +408,10 @@ func (s *Synchronizer) Restore(st SyncState) error {
 	s.token = st.Token
 	s.irqSub = st.IRQSub
 	s.irqPend = st.IRQPend
+	s.eventBits = st.EventBits
+	s.eventWant = st.EventWant
+	s.eventGrp = st.EventGrp
+	s.timeoutAt = st.TimeoutAt
 	s.cycle = st.Cycle
 	s.violations = nil
 	if len(st.Violations) > 0 {
@@ -333,52 +446,183 @@ func (s *Synchronizer) RaiseIRQ(source uint16) {
 
 // Commit merges and applies all synchronization operations posted during the
 // cycle, performing exactly one consistent memory modification per touched
-// point, and issues the resulting wake-ups. Call once at the end of every
-// platform cycle, passing the cycle number just simulated.
+// (group, point), processes event rendezvous, issues the resulting wake-ups,
+// and finally arms or fires gated-wait timeouts. Call once at the end of
+// every platform cycle, passing the cycle number just simulated. Timeouts
+// are evaluated after the merge/apply pass so a legitimate wake landing on
+// the deadline cycle beats the deadline's expiry.
 func (s *Synchronizer) Commit(cycle uint64) {
 	s.cycle = cycle
-	if len(s.pending) == 0 {
-		return
-	}
-	s.ctr.SyncOps += uint64(len(s.pending))
+	if len(s.pending) > 0 {
+		s.ctr.SyncOps += uint64(len(s.pending))
+		for i := range s.pending {
+			s.ctr.SyncGroupOps[s.pending[i].group]++
+		}
 
-	// Merge per point. The pending list is tiny (at most one op per core),
-	// so a quadratic grouping scan beats allocating a map every cycle.
-	for i := 0; i < len(s.pending); i++ {
-		if s.pending[i].point < 0 {
-			continue // already consumed by an earlier group
+		// Merge per (group, point). The pending list is tiny (at most one
+		// op per core), so a quadratic grouping scan beats allocating a map
+		// every cycle. SEVS ops carry point = -1 and are skipped here.
+		for i := 0; i < len(s.pending); i++ {
+			if s.pending[i].point < 0 {
+				continue // SEVS, or already consumed by an earlier group
+			}
+			g, p := s.pending[i].group, s.pending[i].point
+			var setFlags uint8
+			incs, decs, nops := 0, 0, 0
+			for j := i; j < len(s.pending); j++ {
+				o := &s.pending[j]
+				if o.point != p || o.group != g {
+					continue
+				}
+				switch o.kind {
+				case isa.OpSINC:
+					setFlags |= 1 << uint(o.core)
+					incs++
+				case isa.OpSNOP:
+					setFlags |= 1 << uint(o.core)
+					nops++
+				case isa.OpSDEC:
+					decs++
+				}
+				if j > i {
+					o.point = -1 // consumed
+					s.ctr.SyncMerged++
+				}
+			}
+			_ = nops
+			s.apply(g, p, setFlags, incs, decs)
 		}
-		p := s.pending[i].point
-		var setFlags uint8
-		incs, decs, nops := 0, 0, 0
-		for j := i; j < len(s.pending); j++ {
-			o := &s.pending[j]
-			if o.point != p {
-				continue
-			}
-			switch o.kind {
-			case isa.OpSINC:
-				setFlags |= 1 << uint(o.core)
-				incs++
-			case isa.OpSNOP:
-				setFlags |= 1 << uint(o.core)
-				nops++
-			case isa.OpSDEC:
-				decs++
-			}
-			if j > i {
-				o.point = -1 // consumed
-				s.ctr.SyncMerged++
-			}
-		}
-		_ = nops
-		s.apply(p, setFlags, incs, decs)
+		s.commitEvents()
+		s.pending = s.pending[:0]
 	}
-	s.pending = s.pending[:0]
+	if s.timeout != 0 {
+		s.commitTimeouts(cycle)
+	}
 }
 
-// apply performs the single merged read-modify-write of point p.
-func (s *Synchronizer) apply(p int, setFlags uint8, incs, decs int) {
+// commitEvents applies this cycle's SEVS operations: all set-bits land in
+// their group's event word first, then every registered waiter whose pattern
+// is now complete is released (FreeRTOS xEventGroupSync shape), and a group
+// whose rendezvous completed with no waiters left clears its bits for the
+// next round. A releasing core that is still running has its event token
+// latched, so the SLEEP conventionally following SEVS falls through.
+func (s *Synchronizer) commitEvents() {
+	var touched [power.MaxSyncGroups]bool
+	any := false
+	for i := range s.pending {
+		o := &s.pending[i]
+		if o.kind != isa.OpSEVS {
+			continue
+		}
+		s.eventBits[o.group] |= o.set
+		if o.want != 0 {
+			s.eventWant[o.core] = o.want
+			s.eventGrp[o.core] = uint8(o.group)
+		}
+		touched[o.group] = true
+		any = true
+	}
+	if !any {
+		return
+	}
+	var released [power.MaxSyncGroups]bool
+	for c := 0; c < s.nc; c++ {
+		if s.eventWant[c] == 0 {
+			continue
+		}
+		g := int(s.eventGrp[c])
+		if !touched[g] {
+			continue
+		}
+		if s.eventBits[g]&s.eventWant[c] == s.eventWant[c] {
+			s.eventWant[c] = 0
+			released[g] = true
+			s.wake(c)
+		}
+	}
+	for g := 0; g < s.ngroups; g++ {
+		if !released[g] {
+			continue
+		}
+		waiters := false
+		for c := 0; c < s.nc; c++ {
+			if s.eventWant[c] != 0 && int(s.eventGrp[c]) == g {
+				waiters = true
+				break
+			}
+		}
+		if !waiters {
+			s.eventBits[g] = 0
+		}
+	}
+}
+
+// waiting reports whether gated core c is blocked on a synchronization
+// event: registered (flagged) on some point, or holding an unsatisfied
+// event rendezvous. Cores sleeping purely for a peripheral interrupt are
+// not waiting in this sense and never arm a timeout.
+func (s *Synchronizer) waiting(c int) bool {
+	if s.eventWant[c] != 0 {
+		return true
+	}
+	bit := uint8(1) << uint(c)
+	for i := range s.points {
+		if s.points[i].Flags&bit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// commitTimeouts arms and fires the per-core gated-wait deadlines. A core
+// arms when it is gated while waiting on a point or event; the deadline
+// disarms the moment the core stops being gated or stops waiting, and fires
+// when the commit cycle reaches it.
+func (s *Synchronizer) commitTimeouts(cycle uint64) {
+	for c := 0; c < s.nc; c++ {
+		if s.state[c] != StateGated || !s.waiting(c) {
+			s.timeoutAt[c] = 0
+			continue
+		}
+		if s.timeoutAt[c] == 0 {
+			s.timeoutAt[c] = cycle + s.timeout
+			continue
+		}
+		if cycle >= s.timeoutAt[c] {
+			s.fireTimeout(c)
+		}
+	}
+}
+
+// fireTimeout recovers core c from an overdue gated wait: its registration
+// flags are withdrawn from every point (each a mirrored read-modify-write,
+// so shared DM stays consistent), any event rendezvous is abandoned, the
+// sync-timeout IRQ is latched — deliberately ignoring the subscription
+// mask, the woken core must be able to observe why it resumed — and the
+// core is woken through the ordinary wake path. The stall is recoverable by
+// design, so no protocol violation is recorded.
+func (s *Synchronizer) fireTimeout(c int) {
+	bit := uint8(1) << uint(c)
+	for p := range s.points {
+		if s.points[p].Flags&bit == 0 {
+			continue
+		}
+		s.points[p].Flags &^= bit
+		s.ctr.SyncPointWrites++
+		if s.Mirror != nil {
+			s.Mirror(p, s.points[p].Value())
+		}
+	}
+	s.eventWant[c] = 0
+	s.irqPend[c] |= isa.IRQSyncTimeout
+	s.ctr.SyncTimeouts++
+	s.timeoutAt[c] = 0
+	s.wake(c)
+}
+
+// apply performs the single merged read-modify-write of point p on behalf of
+// sync group g: the barrier release resumes only flagged members of g.
+func (s *Synchronizer) apply(g, p int, setFlags uint8, incs, decs int) {
 	pt := &s.points[p]
 	pt.Flags |= setFlags
 	delta := incs - decs
@@ -397,12 +641,14 @@ func (s *Synchronizer) apply(p int, setFlags uint8, incs, decs int) {
 	// registered in the identification flags are resumed and the point is
 	// cleared. The wake is edge-triggered on SDEC so that a consumer
 	// registering (SNOP) on an already-idle point keeps sleeping until the
-	// next production cycle completes.
+	// next production cycle completes. Under a group descriptor only the
+	// releasing group's members are resumed and cleared (with the presets'
+	// single all-core group this is every flagged core, the paper's rule).
 	if decs > 0 && pt.Counter == 0 && pt.Flags != 0 {
-		flags := pt.Flags
-		pt.Flags = 0
+		released := pt.Flags & s.groups[g]
+		pt.Flags &^= released
 		for c := 0; c < s.nc; c++ {
-			if flags&(1<<uint(c)) != 0 {
+			if released&(1<<uint(c)) != 0 {
 				s.wake(c)
 			}
 		}

@@ -12,7 +12,7 @@ import (
 
 func newSync(nc, npoints int) (*Synchronizer, *power.Counters) {
 	ctr := &power.Counters{}
-	return NewSynchronizer(nc, npoints, ctr), ctr
+	return NewSynchronizer(nc, npoints, power.MC, ctr), ctr
 }
 
 // TestPaperFigure3a reproduces the paper's Figure 3-a: cores 0, 1 and 2
@@ -504,7 +504,7 @@ func TestNewSynchronizerPanicsOnBadCount(t *testing.T) {
 			t.Error("want panic for invalid core count")
 		}
 	}()
-	NewSynchronizer(9, 1, &power.Counters{})
+	NewSynchronizer(9, 1, power.MC, &power.Counters{})
 }
 
 func TestStateStrings(t *testing.T) {

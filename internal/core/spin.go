@@ -144,9 +144,12 @@ func (t *SpinTracker) periodic(p int) bool {
 // SyncState, ignoring the cycle stamp and the absolute wake-at cycles: the
 // spin fast-forward engine requires separately (via NextWake) that no wake
 // latency is pending at either end of the compared window, which makes the
-// wake-at values dead state. Violation messages embed cycle numbers, so
-// only their count is compared — violations append-only, and an equal count
-// across the window means none were recorded in it.
+// wake-at values dead state. Armed timeout deadlines are covered by the same
+// NextWake precondition (an armed gated wait schedules a future wake, so the
+// engine never arms over one), but TimeoutAt is compared anyway as a cheap
+// belt-and-braces. Violation messages embed cycle numbers, so only their
+// count is compared — violations append-only, and an equal count across the
+// window means none were recorded in it.
 func (s *Synchronizer) StableEqual(st *SyncState) bool {
 	if len(st.Points) != s.npoints || len(st.Violations) != len(s.violations) {
 		return false
@@ -159,5 +162,9 @@ func (s *Synchronizer) StableEqual(st *SyncState) bool {
 	return s.state == st.State &&
 		s.token == st.Token &&
 		s.irqSub == st.IRQSub &&
-		s.irqPend == st.IRQPend
+		s.irqPend == st.IRQPend &&
+		s.eventBits == st.EventBits &&
+		s.eventWant == st.EventWant &&
+		s.eventGrp == st.EventGrp &&
+		s.timeoutAt == st.TimeoutAt
 }

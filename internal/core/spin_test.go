@@ -121,7 +121,7 @@ func TestSpinTrackerRejectsWideReadSet(t *testing.T) {
 
 func TestSynchronizerStableEqual(t *testing.T) {
 	var ctr power.Counters
-	s := NewSynchronizer(2, 1, &ctr)
+	s := NewSynchronizer(2, 1, power.MC, &ctr)
 	st := s.Snapshot()
 	if !s.StableEqual(&st) {
 		t.Fatal("fresh synchronizer does not StableEqual its own snapshot")

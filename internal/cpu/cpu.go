@@ -195,7 +195,7 @@ func (c *Core) Execute(ins isa.Instr, loadVal uint16, env Env) Effect {
 		nextPC = target
 		eff.Taken = true
 
-	case isa.OpSINC, isa.OpSDEC, isa.OpSNOP:
+	case isa.OpSINC, isa.OpSDEC, isa.OpSNOP, isa.OpSEVS:
 		env.PostSync(c.ID, ins.Op, int(ins.Imm))
 	case isa.OpSLEEP:
 		eff.Gated = env.RequestSleep(c.ID)

@@ -181,15 +181,13 @@ func SolveOperatingPointFromScratch(ctx context.Context, app string, arch power.
 	if err != nil {
 		return OperatingPoint{}, err
 	}
-	// Active waiting keeps cores busy at any frequency, so the no-sync
+	// Active waiting keeps cores busy at any frequency, so a busy-wait
 	// variant's demand cannot be estimated from its own busy counters; the
-	// proposed system's demand seeds the search and the verification loop
+	// sync-unit twin's demand seeds the search and the verification loop
 	// escalates past the divergence-serialization penalty the missing
 	// lock-step recovery causes.
 	demandArch := arch
-	if arch == power.MCNoSync {
-		demandArch = power.MC
-	}
+	demandArch.BusyWait = false
 	v, err := apps.Build(app, demandArch)
 	if err != nil {
 		return OperatingPoint{}, err
@@ -215,7 +213,7 @@ func SolveOperatingPointFromScratch(ctx context.Context, app string, arch power.
 		}
 	}
 	demand := float64(busiest) / opts.ProbeDuration
-	if arch == power.SC {
+	if !arch.IsMulti() {
 		// Sequential workloads carry the per-sample deadline on one
 		// core: the worst busy window within a sample period binds.
 		if peak := float64(p.MaxSampleBusy()) * sig.BaseRateHz(); peak > demand {
@@ -266,10 +264,10 @@ func SolveOperatingPointFromScratch(ctx context.Context, app string, arch power.
 			demand *= 1.2
 			continue
 		}
-		if arch == power.MCNoSync {
+		if arch.BusyWait {
 			// Divergence-induced deadline misses are bursty: a point
 			// that verifies over the probe window can still slip over
-			// longer runs. Extra headroom is strictly safe for the
+			// longer runs. Extra headroom is strictly safe for a
 			// busy-wait variant (idle cycles are spent spinning).
 			freq *= 1.1
 			op, err = power.MinVoltage(vfs, arch, freq)

@@ -31,7 +31,7 @@ func FormatPoints(points []Point, ms []*Measurement) string {
 		"app", "arch", "MHz", "V", "cores", "power uW", "dyn uW", "overhead")
 	for i, m := range ms {
 		overhead := "-"
-		if points[i].Arch == power.MC {
+		if points[i].Arch.HasSyncUnit() {
 			overhead = fmt.Sprintf("%.2f%%", m.Counters.RuntimeOverheadPct())
 		}
 		fmt.Fprintf(&sb, "%-10s %-10s %8.2f %6.2f %6d %10.1f %10.1f %9s\n",

@@ -303,7 +303,7 @@ func (s *Session) withCache(opts Options) Options {
 // two solves probing the same record but measuring differently-rated ones
 // must not share an estimate.
 func demandKeyString(app string, demandArch power.Arch, probe sourceKey, baseRateHz float64, opts Options) string {
-	return fmt.Sprintf("demand|%s|%v|%+v|rate=%v|probe=%v|exact=%v", app, demandArch, probe, baseRateHz, opts.ProbeDuration, opts.Exact)
+	return fmt.Sprintf("demand|%s|%s|%+v|rate=%v|probe=%v|exact=%v", app, demandArch.Key(), probe, baseRateHz, opts.ProbeDuration, opts.Exact)
 }
 
 // transient reports whether err is a context-cancellation outcome: a fact
@@ -330,7 +330,7 @@ func (e *probeError) Unwrap() error { return e.err }
 // solveKeyString serializes the solved-point identity: everything the
 // escalation loop's outcome depends on.
 func solveKeyString(app string, arch power.Arch, sig, probe sourceKey, opts Options) string {
-	return fmt.Sprintf("solve|%s|%v|sig=%+v|probe=%+v|dur=%v|exact=%v", app, arch, sig, probe, opts.ProbeDuration, opts.Exact)
+	return fmt.Sprintf("solve|%s|%s|sig=%+v|probe=%+v|dur=%v|exact=%v", app, arch.Key(), sig, probe, opts.ProbeDuration, opts.Exact)
 }
 
 // SolveOperatingPoint finds the minimum real-time clock and sustaining
@@ -447,7 +447,7 @@ func (s *Session) runProbe(ctx context.Context, app string, demandArch power.Arc
 		}
 	}
 	demand := float64(busiest) / opts.ProbeDuration
-	if demandArch == power.SC {
+	if !demandArch.IsMulti() {
 		// Sequential workloads carry the per-sample deadline on one core:
 		// the worst busy window within a sample period binds.
 		if peak := float64(p.MaxSampleBusy()) * baseRateHz; peak > demand {
@@ -461,14 +461,13 @@ func (s *Session) runProbe(ctx context.Context, app string, demandArch power.Arc
 // candidate sequence and every verification verdict match the from-scratch
 // reference exactly; only the work to reach them is amortized.
 func (s *Session) solve(ctx context.Context, app string, arch power.Arch, sig, probeSig *signal.Source, opts Options) (OperatingPoint, error) {
-	// Active waiting keeps cores busy at any frequency, so the no-sync
+	// Active waiting keeps cores busy at any frequency, so a busy-wait
 	// variant's demand cannot be estimated from its own busy counters; the
-	// proposed system's demand seeds the search (see the from-scratch
-	// reference), which also means MC and MC-nosync share one probe run.
+	// sync-unit twin's demand seeds the search (see the from-scratch
+	// reference), which also means each busy-wait descriptor shares one
+	// probe run with its sync-unit counterpart (MC-nosync with MC).
 	demandArch := arch
-	if arch == power.MCNoSync {
-		demandArch = power.MC
-	}
+	demandArch.BusyWait = false
 	demand, err := s.demand(ctx, app, demandArch, probeSig, sig.BaseRateHz(), opts)
 	if err != nil {
 		var pe *probeError
@@ -523,10 +522,10 @@ func (s *Session) solve(ctx context.Context, app string, arch power.Arch, sig, p
 		}
 		// The passing run ends exactly at the probe boundary of the
 		// verified configuration: snapshot it so Measure at this operating
-		// point continues instead of re-simulating the window. The no-sync
+		// point continues instead of re-simulating the window. A busy-wait
 		// variant's returned point is bumped below the verified frequency,
 		// so its snapshot could never be looked up — don't retain it.
-		if arch != power.MCNoSync {
+		if !arch.BusyWait {
 			s.mu.Lock()
 			s.warm[warmKey{
 				VK:            variantKey{App: app, Arch: arch},
@@ -538,10 +537,10 @@ func (s *Session) solve(ctx context.Context, app string, arch power.Arch, sig, p
 			}] = pp.Snapshot()
 			s.mu.Unlock()
 		}
-		if arch == power.MCNoSync {
+		if arch.BusyWait {
 			// Divergence-induced deadline misses are bursty: a point that
 			// verifies over the probe window can still slip over longer
-			// runs. Extra headroom is strictly safe for the busy-wait
+			// runs. Extra headroom is strictly safe for a busy-wait
 			// variant (idle cycles are spent spinning).
 			freq *= 1.1
 			op, err = power.MinVoltage(vfs, arch, freq)

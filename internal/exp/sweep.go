@@ -213,7 +213,7 @@ func (s *Sweep) Table(ctx context.Context, appNames []string, opts Options) ([]T
 // and multi-core executions. Shared by the sweep engine and wbsn-bench (the
 // JSON output path solves the same grid).
 func TableIGrid(appNames []string, opts Options) []Point {
-	return Grid(appNames, []power.Arch{power.SC, power.MC}, opts)
+	return Grid(appNames, power.PaperArchs(), opts)
 }
 
 // TableIRows pairs a solved TableIGrid's measurements into the table's rows.
@@ -234,7 +234,7 @@ func TableIRows(appNames []string, ms []*Measurement) []TableIRow {
 // solved at its own, higher operating point: without lock-step recovery,
 // diverged replicated cores serialize on their shared instruction bank and
 // miss real time at the proposed system's clock.
-var Fig6Archs = []power.Arch{power.SC, power.MCNoSync, power.MC}
+var Fig6Archs = power.PresetArchs()
 
 // Figure6 reproduces the paper's Figure 6 through the sweep engine: per
 // benchmark, the per-component power of (1) the single-core baseline,

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/power"
+)
+
+// splitPipeline is the bundled non-preset descriptor exercised end-to-end:
+// two overlapping sync groups over 3L-MMD's five cores (filter+lock-step on
+// group 0, the C2D hand-off on group 1) with a generous recovery timeout.
+var splitPipeline = power.Arch{
+	Multi:         true,
+	Groups:        [power.MaxSyncGroups]uint8{0x0F, 0x18},
+	TimeoutCycles: 50_000_000,
+}
+
+// TestSplitPipelineDescriptorSolvesLikeMC is the golden test for custom
+// descriptors: solved through the same sweep engine wbsn-bench's -sync flag
+// drives, the split-pipeline descriptor must land on the paper's MC
+// operating point (its groups partition the same rendezvous, so the demand
+// is identical), measure within a hair of MC's power, and never trip its
+// timeout at the solved point.
+func TestSplitPipelineDescriptorSolvesLikeMC(t *testing.T) {
+	opts := tinyOpts()
+	points := []Point{
+		{App: apps.MMD3L, Arch: power.MC, Opts: opts},
+		{App: apps.MMD3L, Arch: splitPipeline, Opts: opts},
+	}
+	ms, err := NewSweep(2, power.DefaultParams()).Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, split := ms[0], ms[1]
+	// Golden operating point: 1.0 MHz / 0.5 V, the paper's MC cell.
+	if split.Op.FreqHz != power.MinClockHz || split.Op.VoltageV != 0.5 {
+		t.Errorf("split-pipeline point = %.2f MHz / %.2f V, want 1.0 / 0.5",
+			split.Op.FreqHz/1e6, split.Op.VoltageV)
+	}
+	if split.Op != mc.Op {
+		t.Errorf("split-pipeline solved %+v, MC solved %+v; the descriptors must land on the same point", split.Op, mc.Op)
+	}
+	if split.Cores != 5 {
+		t.Errorf("split-pipeline ran on %d cores, want 5", split.Cores)
+	}
+	// The group split only re-tags rendezvous immediates; the workload is
+	// unchanged, so measured power must track MC to well under a percent.
+	if rel := split.Report.TotalUW/mc.Report.TotalUW - 1; rel < -0.01 || rel > 0.01 {
+		t.Errorf("split-pipeline power %.2f uW vs MC %.2f uW (%.2f%% apart), want <1%%",
+			split.Report.TotalUW, mc.Report.TotalUW, 100*rel)
+	}
+	// A healthy solved point never exhausts the 50M-cycle recovery timeout.
+	if split.Counters.SyncTimeouts != 0 {
+		t.Errorf("SyncTimeouts = %d at the solved point, want 0", split.Counters.SyncTimeouts)
+	}
+	if split.Counters.SyncGroupOps[1] == 0 {
+		t.Error("group 1 saw no sync operations; the descriptor's split was not exercised")
+	}
+}

@@ -60,6 +60,12 @@ const (
 	IRQADC1 = 1 << 1 // channel 1 data ready
 	IRQADC2 = 1 << 2 // channel 2 data ready
 	IRQADC  = IRQADC0 | IRQADC1 | IRQADC2
+	// IRQSyncTimeout is raised by the synchronizer when a core's gated
+	// wait exceeds the descriptor's timeout threshold. Unlike the ADC
+	// sources it is delivered regardless of the subscription mask: a
+	// timed-out core is woken so it can observe and recover from the
+	// stall, subscribed or not.
+	IRQSyncTimeout = 1 << 3
 )
 
 // Opcode enumerates WB16 operations. Values are the 6-bit primary opcode
@@ -116,6 +122,9 @@ const (
 	OpSLEEP // request clock gating until the next synchronization event
 	// Simulation control
 	OpHALT // stop the issuing core permanently
+	// Event-group synchronization (FreeRTOS-style rendezvous; appended
+	// after OpHALT so the pre-existing opcode numbering is unchanged)
+	OpSEVS // set this core's event bits and wait for a rendezvous pattern
 
 	numOpcodes
 )
@@ -201,6 +210,7 @@ var opInfo = [numOpcodes]struct {
 	OpSNOP:  {"snop", FmtS},
 	OpSLEEP: {"sleep", FmtN},
 	OpHALT:  {"halt", FmtN},
+	OpSEVS:  {"sevs", FmtS},
 }
 
 // Valid reports whether op is a defined opcode.
@@ -222,9 +232,11 @@ func (op Opcode) Fmt() Format {
 	return opInfo[op].fmt
 }
 
-// IsSync reports whether op is one of the synchronization-point instructions
-// (SINC, SDEC, SNOP). SLEEP is reported separately by IsSleep.
-func (op Opcode) IsSync() bool { return op == OpSINC || op == OpSDEC || op == OpSNOP }
+// IsSync reports whether op is one of the synchronizer-posted instructions
+// (SINC, SDEC, SNOP, SEVS). SLEEP is reported separately by IsSleep.
+func (op Opcode) IsSync() bool {
+	return op == OpSINC || op == OpSDEC || op == OpSNOP || op == OpSEVS
+}
 
 // IsSleep reports whether op is the SLEEP clock-gating request.
 func (op Opcode) IsSleep() bool { return op == OpSLEEP }
@@ -246,6 +258,55 @@ func (op Opcode) IsControl() bool { return op.IsBranch() || op.IsJump() }
 
 // IsMem reports whether op accesses data memory.
 func (op Opcode) IsMem() bool { return op == OpLW || op == OpSW }
+
+// Sync-operand packing inside the 18-bit sync immediate.
+//
+// SINC/SDEC/SNOP address a sync point within a sync group:
+//
+//	imm18 = group[9:8] | point[7:0]
+//
+// Group 0 is the paper's single all-core barrier, so pre-existing programs
+// (whose immediates are plain point ids < 256) decode unchanged.
+//
+// SEVS carries an event-group rendezvous (FreeRTOS xEventGroupSync shape):
+//
+//	imm18 = group[17:16] | set[15:8] | wait[7:0]
+//
+// The issuing core sets the `set` bits in its group's event word and blocks
+// (on the following SLEEP) until all `wait` bits are present; wait=0 is a
+// fire-and-forget set.
+const (
+	SyncGroupShift = 8
+	SyncGroupBits  = 2 // up to 4 sync groups addressable per instruction
+	SyncPointMask  = 0xFF
+
+	SevsGroupShift = 16
+	SevsSetShift   = 8
+	SevsMask       = 0xFF
+)
+
+// SyncPointOf extracts the sync-point id from a SINC/SDEC/SNOP immediate.
+func SyncPointOf(imm int) int { return imm & SyncPointMask }
+
+// SyncGroupOf extracts the sync-group id from a SINC/SDEC/SNOP immediate.
+func SyncGroupOf(imm int) int { return imm >> SyncGroupShift & (1<<SyncGroupBits - 1) }
+
+// SyncImm packs a sync-group id and point id into a SINC/SDEC/SNOP immediate.
+func SyncImm(group, point int) int { return group<<SyncGroupShift | point&SyncPointMask }
+
+// SevsGroupOf extracts the event-group id from a SEVS immediate.
+func SevsGroupOf(imm int) int { return imm >> SevsGroupShift & (1<<SyncGroupBits - 1) }
+
+// SevsSetOf extracts the bits-to-set mask from a SEVS immediate.
+func SevsSetOf(imm int) uint8 { return uint8(imm >> SevsSetShift & SevsMask) }
+
+// SevsWaitOf extracts the bits-to-wait-for mask from a SEVS immediate.
+func SevsWaitOf(imm int) uint8 { return uint8(imm & SevsMask) }
+
+// SevsImm packs an event rendezvous into a SEVS immediate.
+func SevsImm(group int, set, wait uint8) int {
+	return group<<SevsGroupShift | int(set)<<SevsSetShift | int(wait)
+}
 
 // OpcodeByName maps assembler mnemonics to opcodes.
 var OpcodeByName = func() map[string]Opcode {

@@ -42,6 +42,7 @@ package platform
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -213,8 +214,16 @@ func New(cfg Config, img *Image) (*Platform, error) {
 	if n == 0 || n > isa.MaxCores {
 		return nil, fmt.Errorf("platform: image uses %d cores, want 1..%d", n, isa.MaxCores)
 	}
-	if cfg.Arch == power.SC && n != 1 {
+	if !cfg.Arch.IsMulti() && n != 1 {
 		return nil, fmt.Errorf("platform: single-core architecture cannot run a %d-core image", n)
+	}
+	if err := cfg.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	for g := 0; g < cfg.Arch.NumGroups(); g++ {
+		if m := cfg.Arch.GroupMask(g); m != 0xFF && m&^uint8(1<<uint(n)-1) != 0 {
+			return nil, fmt.Errorf("platform: sync group %d mask %#02x names cores outside the %d-core image", g, m, n)
+		}
 	}
 	if cfg.ClockHz <= 0 {
 		return nil, fmt.Errorf("platform: non-positive clock %v", cfg.ClockHz)
@@ -240,7 +249,7 @@ func New(cfg Config, img *Image) (*Platform, error) {
 		memOps:      make([]cpu.MemOp, n),
 		exact:       cfg.Exact,
 	}
-	p.sync = core.NewSynchronizer(n, img.NumSyncPoints, &p.ctr)
+	p.sync = core.NewSynchronizer(n, img.NumSyncPoints, cfg.Arch, &p.ctr)
 	p.spin.track = make([]core.SpinTracker, n)
 	p.spinReset()
 
@@ -444,6 +453,45 @@ func (p *Platform) AllHalted() bool {
 		}
 	}
 	return true
+}
+
+// DeadlockDiagnosis inspects the platform at a cycle boundary and reports a
+// human-readable description when no core can ever make progress again: at
+// least one core is still live, every live core is clock-gated, and nothing
+// can wake any of them — no pending wake latency, no armed sync timeout, and
+// no interrupt subscription a future ADC sample could fire. The empty string
+// means the run can still progress (or has fully halted, which is normal
+// termination). A sync-unit descriptor with TimeoutCycles set never reaches
+// this state through sync flags alone: the timeout IRQ withdraws them first.
+func (p *Platform) DeadlockDiagnosis() string {
+	gated := 0
+	for c := 0; c < p.ncore; c++ {
+		switch p.sync.State(c) {
+		case core.StateHalted:
+			continue
+		case core.StateRunning:
+			return ""
+		case core.StateGated:
+			if p.sync.Subscription(c) != 0 && p.adc != nil {
+				return "" // a future ADC sample delivers an IRQ wake
+			}
+			gated++
+		}
+	}
+	if gated == 0 {
+		return "" // fully halted: normal termination
+	}
+	if _, ok := p.sync.NextWake(p.cycle); ok {
+		return "" // a wake latency or armed sync timeout is still pending
+	}
+	var waiting []string
+	for c := 0; c < p.ncore; c++ {
+		if p.sync.State(c) == core.StateGated {
+			waiting = append(waiting, fmt.Sprintf("core %d", c))
+		}
+	}
+	return fmt.Sprintf("deadlock: %s clock-gated with no wake source (no pending sync release, timeout or IRQ subscription)",
+		strings.Join(waiting, ", "))
 }
 
 // PowerConfig assembles the power.SystemConfig describing this platform at

@@ -9,7 +9,14 @@ import (
 // SnapshotVersion is the on-disk snapshot format version. Bump it whenever
 // Snapshot (or any state struct it embeds) changes incompatibly; decoding
 // rejects mismatched versions instead of silently misinterpreting state.
-const SnapshotVersion = 1
+//
+// Version history:
+//
+//	1 — initial format (PR 4)
+//	2 — power.Arch became a sync-architecture descriptor struct and
+//	    core.SyncState gained group/event/timeout state, changing the gob
+//	    shape of both
+const SnapshotVersion = 2
 
 // snapshotMagic guards against feeding an arbitrary gob stream (or an exp
 // session checkpoint) into the platform decoder.

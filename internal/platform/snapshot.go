@@ -247,6 +247,16 @@ func (p *Platform) Fork(cfg Config) (*Platform, error) {
 				s.Sync.WakeAt[c] = 0
 			}
 		}
+		// Armed sync-timeout deadlines are cycle-denominated like wake
+		// latencies: the remaining wait budget carries over onto the new
+		// clock's cycle grid.
+		for c := range s.Sync.TimeoutAt {
+			if s.Sync.TimeoutAt[c] > s.Cycle {
+				s.Sync.TimeoutAt[c] = newCycle + (s.Sync.TimeoutAt[c] - s.Cycle)
+			} else {
+				s.Sync.TimeoutAt[c] = 0
+			}
+		}
 		s.Cycle = newCycle
 		s.Sync.Cycle = newCycle
 		s.ClockHz = cfg.ClockHz

@@ -49,10 +49,16 @@ type Counters struct {
 	XbarReqs uint64
 
 	// Synchronizer activity.
-	SyncOps         uint64 // SINC/SDEC/SNOP operations committed
+	SyncOps         uint64 // SINC/SDEC/SNOP/SEVS operations committed
 	SyncMerged      uint64 // operations merged into another same-cycle op
 	SyncWakes       uint64 // core wake-ups issued
 	SyncPointWrites uint64 // read-modify-writes of sync points in shared DM
+	SyncTimeouts    uint64 // per-core wait timeouts fired (timeout IRQs raised)
+
+	// SyncGroupOps splits SyncOps by the sync group the operation targeted
+	// (descriptors with one implicit all-core barrier accumulate only
+	// group 0, matching the paper presets).
+	SyncGroupOps [MaxSyncGroups]uint64
 
 	// UngatedCoreCycles feeds the clock-tree leaf energy: the sum over all
 	// cycles of the number of cores receiving a clock (active or stalled).
@@ -112,6 +118,10 @@ func (c *Counters) RuntimeOverheadPct() float64 {
 // engine measures one proven-periodic loop traversal this way and replays
 // it with AddScaled.
 func (c *Counters) Diff(base *Counters) Counters {
+	var groupOps [MaxSyncGroups]uint64
+	for g := range groupOps {
+		groupOps[g] = c.SyncGroupOps[g] - base.SyncGroupOps[g]
+	}
 	return Counters{
 		Cycles:            c.Cycles - base.Cycles,
 		CoreActive:        c.CoreActive - base.CoreActive,
@@ -135,6 +145,8 @@ func (c *Counters) Diff(base *Counters) Counters {
 		SyncMerged:        c.SyncMerged - base.SyncMerged,
 		SyncWakes:         c.SyncWakes - base.SyncWakes,
 		SyncPointWrites:   c.SyncPointWrites - base.SyncPointWrites,
+		SyncTimeouts:      c.SyncTimeouts - base.SyncTimeouts,
+		SyncGroupOps:      groupOps,
 		UngatedCoreCycles: c.UngatedCoreCycles - base.UngatedCoreCycles,
 		IRQs:              c.IRQs - base.IRQs,
 		ADCSamples:        c.ADCSamples - base.ADCSamples,
@@ -168,6 +180,10 @@ func (c *Counters) AddScaled(o *Counters, n uint64) {
 	c.SyncMerged += n * o.SyncMerged
 	c.SyncWakes += n * o.SyncWakes
 	c.SyncPointWrites += n * o.SyncPointWrites
+	c.SyncTimeouts += n * o.SyncTimeouts
+	for g := range c.SyncGroupOps {
+		c.SyncGroupOps[g] += n * o.SyncGroupOps[g]
+	}
 	c.UngatedCoreCycles += n * o.UngatedCoreCycles
 	c.IRQs += n * o.IRQs
 	c.ADCSamples += n * o.ADCSamples
@@ -197,6 +213,10 @@ func (c *Counters) Add(o *Counters) {
 	c.SyncMerged += o.SyncMerged
 	c.SyncWakes += o.SyncWakes
 	c.SyncPointWrites += o.SyncPointWrites
+	c.SyncTimeouts += o.SyncTimeouts
+	for g := range c.SyncGroupOps {
+		c.SyncGroupOps[g] += o.SyncGroupOps[g]
+	}
 	c.UngatedCoreCycles += o.UngatedCoreCycles
 	c.IRQs += o.IRQs
 	c.ADCSamples += o.ADCSamples

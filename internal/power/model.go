@@ -119,7 +119,7 @@ func Compute(cfg SystemConfig, c *Counters, p *Params) (*Report, error) {
 	r.LeakUW[CompClock] = leakScale * clockLeak
 
 	// Synchronizer (only instantiated with the proposed approach).
-	if cfg.Arch == MC {
+	if cfg.Arch.HasSyncUnit() {
 		r.DynamicUW[CompSync] = toUW * (float64(c.SyncOps)*p.SyncOpPJ +
 			float64(c.Cycles)*p.SyncIdlePJ)
 		r.LeakUW[CompSync] = leakScale * p.SyncLeakUW

@@ -163,11 +163,37 @@ func (b *Builder) Bnez(a *Reg, label string)   { b.ins("bnez %s, %s", a, label) 
 func (b *Builder) Halt()                       { b.ins("halt") }
 func (b *Builder) Nop()                        { b.ins("nop") }
 
-// Sync ISE.
-func (b *Builder) Sinc(sym string) { b.ins("sinc #%s", sym) }
-func (b *Builder) Sdec(sym string) { b.ins("sdec #%s", sym) }
-func (b *Builder) Snop(sym string) { b.ins("snop #%s", sym) }
+// Sync ISE. The plain forms address sync group 0 — the paper's single
+// hardware barrier; the G variants target a specific group of a descriptor
+// architecture by folding the group index into the immediate's group field
+// (isa.SyncGroupShift), spelled as a point+offset expression so the
+// generated assembly stays readable and round-trips through the assembler's
+// ordinary expression grammar.
+func (b *Builder) Sinc(sym string) { b.SincG(sym, 0) }
+func (b *Builder) Sdec(sym string) { b.SdecG(sym, 0) }
+func (b *Builder) Snop(sym string) { b.SnopG(sym, 0) }
 func (b *Builder) Sleep()          { b.ins("sleep") }
+
+func (b *Builder) SincG(sym string, group int) { b.syncG("sinc", sym, group) }
+func (b *Builder) SdecG(sym string, group int) { b.syncG("sdec", sym, group) }
+func (b *Builder) SnopG(sym string, group int) { b.syncG("snop", sym, group) }
+
+func (b *Builder) syncG(op, sym string, group int) {
+	if group == 0 {
+		b.ins("%s #%s", op, sym)
+		return
+	}
+	b.ins("%s #%s+%d", op, sym, group<<8)
+}
+
+// Sevs emits an event-group signal-and-wait: atomically OR set into the
+// group's event bits, then (when want is non-zero) flag the core as waiting
+// for every bit of want; a following SLEEP blocks until the rendezvous
+// releases it. want == 0 is fire-and-forget. The immediate is emitted as an
+// explicit or-of-shifts expression mirroring isa.SevsImm's field layout.
+func (b *Builder) Sevs(group, set, want int) {
+	b.ins("sevs #%d<<16|%d<<8|%d", group, set, want)
+}
 
 // --- composite helpers ---
 
@@ -313,9 +339,15 @@ func (b *Builder) Abs(rd, a *Reg) {
 // entry, SDEC and SLEEP on exit, so a group of cores executing body with
 // divergent branches realigns when the last one leaves (§III-B, Fig. 3-b).
 func (b *Builder) SyncRegion(point string, body func()) {
-	b.Sinc(point)
+	b.SyncRegionG(point, 0, body)
+}
+
+// SyncRegionG is SyncRegion on a specific sync group of a descriptor
+// architecture.
+func (b *Builder) SyncRegionG(point string, group int, body func()) {
+	b.SincG(point, group)
 	body()
-	b.Sdec(point)
+	b.SdecG(point, group)
 	b.Sleep()
 }
 

@@ -26,6 +26,26 @@
 //	  "archs": ["sc", "mc"]
 //	}
 //
+// A "sync" stanza declares custom sync-architecture descriptors (hardware
+// sync-unit configurations, see power.Arch) and names them for use in
+// "archs" — alongside the built-in "sc", "mc" and "mc-nosync" presets:
+//
+//	"sync": [
+//	  {
+//	    "name": "split-pipeline",
+//	    "groups": ["0x0F", "0x18"],
+//	    "timeout_cycles": 50000000
+//	  }
+//	],
+//	"archs": ["sc", "mc", "split-pipeline"]
+//
+// Each entry defines a multi-core sync-unit descriptor: "groups" lists the
+// per-group core membership masks (hex strings or numbers; omitted means
+// the single implicit all-core barrier) and "timeout_cycles" arms the
+// per-core sync timeout (0 disables it). Names are registered process-wide
+// (power.RegisterArch): re-declaring the same binding is idempotent,
+// renaming a different descriptor to a taken name is an error.
+//
 // Omitted signal fields take the kind's defaults; omitted durations the
 // experiment defaults; omitted apps/archs the full paper grid. Unknown
 // fields are rejected — a typoed knob must not silently fall back. One
@@ -43,6 +63,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/apps"
@@ -77,6 +98,36 @@ type fileFormat struct {
 	ProbeS      *float64     `json:"probe_s"`
 	Apps        []string     `json:"apps"`
 	Archs       []string     `json:"archs"`
+	Sync        []syncFormat `json:"sync"`
+}
+
+// syncFormat declares one custom sync-architecture descriptor.
+type syncFormat struct {
+	Name          string     `json:"name"`
+	Groups        []maskWord `json:"groups"`
+	TimeoutCycles uint64     `json:"timeout_cycles"`
+}
+
+// maskWord is a core-membership bitmask that reads as either a JSON number
+// or a string in any Go integer syntax ("0x0F" being the natural spelling).
+type maskWord uint8
+
+func (m *maskWord) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 8)
+		if err != nil {
+			return fmt.Errorf("bad group mask %q: %w", s, err)
+		}
+		*m = maskWord(v)
+		return nil
+	}
+	var v uint8
+	if err := json.Unmarshal(data, &v); err != nil {
+		return fmt.Errorf("group mask %s is neither a number nor a mask string", data)
+	}
+	*m = maskWord(v)
+	return nil
 }
 
 type signalFormat struct {
@@ -93,11 +144,28 @@ type signalFormat struct {
 	NoiseAmp         float64 `json:"noise_amp"`
 }
 
-// archNames maps the file spelling to the architecture variants.
-var archNames = map[string]power.Arch{
-	"sc":        power.SC,
-	"mc":        power.MC,
-	"mc-nosync": power.MCNoSync,
+// registerSync validates one "sync" stanza entry and registers it with the
+// process-wide descriptor registry, so "archs" (and the CLIs' -sync flag)
+// can select it by name.
+func registerSync(sf syncFormat) error {
+	if sf.Name == "" {
+		return fmt.Errorf("sync descriptor missing \"name\"")
+	}
+	if strings.ContainsAny(sf.Name, " \t\n,=") {
+		return fmt.Errorf("sync descriptor name %q contains whitespace or spec punctuation", sf.Name)
+	}
+	if len(sf.Groups) > power.MaxSyncGroups {
+		return fmt.Errorf("sync descriptor %q declares %d groups, the hardware supports %d",
+			sf.Name, len(sf.Groups), power.MaxSyncGroups)
+	}
+	a := power.Arch{Multi: true, TimeoutCycles: sf.TimeoutCycles}
+	for g, m := range sf.Groups {
+		a.Groups[g] = uint8(m)
+	}
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("sync descriptor %q: %w", sf.Name, err)
+	}
+	return power.RegisterArch(sf.Name, a)
 }
 
 // Load reads and validates one scenario file.
@@ -161,6 +229,12 @@ func Parse(r io.Reader) (*Scenario, error) {
 		return nil, err
 	}
 
+	for _, sf := range ff.Sync {
+		if err := registerSync(sf); err != nil {
+			return nil, err
+		}
+	}
+
 	s := &Scenario{
 		Name:        ff.Name,
 		Description: ff.Description,
@@ -168,7 +242,7 @@ func Parse(r io.Reader) (*Scenario, error) {
 		DurationS:   10,
 		ProbeS:      2.5,
 		Apps:        ff.Apps,
-		Archs:       []power.Arch{power.SC, power.MC},
+		Archs:       power.PaperArchs(),
 	}
 	if ff.DurationS != nil {
 		s.DurationS = *ff.DurationS
@@ -194,9 +268,9 @@ func Parse(r io.Reader) (*Scenario, error) {
 	if len(ff.Archs) > 0 {
 		s.Archs = s.Archs[:0]
 		for i, name := range ff.Archs {
-			arch, ok := archNames[name]
-			if !ok {
-				return nil, fmt.Errorf("archs[%d]: unknown arch %q (known: sc, mc, mc-nosync)", i, name)
+			arch, err := power.ParseArchSpec(name)
+			if err != nil {
+				return nil, fmt.Errorf("archs[%d]: %w", i, err)
 			}
 			s.Archs = append(s.Archs, arch)
 		}

@@ -198,6 +198,60 @@ func TestExplicitZeroSeed(t *testing.T) {
 	}
 }
 
+// TestSyncStanza: a "sync" entry registers a named descriptor usable in
+// "archs", masks read as hex strings or numbers, and re-declaring the same
+// binding (scenario files are loaded repeatedly) is idempotent.
+func TestSyncStanza(t *testing.T) {
+	doc := `{
+		"name": "x", "signal": {"kind": "ecg"}, "apps": ["3l-mmd"],
+		"sync": [{"name": "stanza-test", "groups": ["0x0F", 24], "timeout_cycles": 1000}],
+		"archs": ["stanza-test", "mc"]
+	}`
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := power.Arch{Multi: true, Groups: [power.MaxSyncGroups]uint8{0x0F, 0x18}, TimeoutCycles: 1000}
+	if s.Archs[0] != want {
+		t.Errorf("archs[0] = %+v, want %+v", s.Archs[0], want)
+	}
+	if s.Archs[1] != power.MC {
+		t.Errorf("archs[1] = %+v, want the MC preset", s.Archs[1])
+	}
+	// Idempotent re-registration: the same file parses again.
+	if _, err := Parse(strings.NewReader(doc)); err != nil {
+		t.Errorf("re-parsing the same stanza failed: %v", err)
+	}
+	// The registered name resolves process-wide (the CLIs' -sync/-arch path).
+	if got, ok := power.ArchByName("stanza-test"); !ok || got != want {
+		t.Errorf("ArchByName = %+v,%v after stanza registration", got, ok)
+	}
+}
+
+func TestSyncStanzaValidation(t *testing.T) {
+	cases := map[string]string{
+		"missing name":               `{"name": "x", "signal": {"kind": "ecg"}, "sync": [{"groups": ["0x03"]}]}`,
+		"name with spec punctuation": `{"name": "x", "signal": {"kind": "ecg"}, "sync": [{"name": "a,b", "groups": ["0x03"]}]}`,
+		"too many groups":            `{"name": "x", "signal": {"kind": "ecg"}, "sync": [{"name": "v1-test", "groups": [1, 2, 4, 8, 16]}]}`,
+		"empty middle group":         `{"name": "x", "signal": {"kind": "ecg"}, "sync": [{"name": "v2-test", "groups": ["0x0F", "0x00", "0x18"]}]}`,
+		"unparsable mask":            `{"name": "x", "signal": {"kind": "ecg"}, "sync": [{"name": "v3-test", "groups": ["0xfff"]}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted %s", label, doc)
+		}
+	}
+	// Rebinding a taken name to a different descriptor must fail.
+	if _, err := Parse(strings.NewReader(
+		`{"name": "x", "signal": {"kind": "ecg"}, "sync": [{"name": "rebind-test", "groups": ["0x03"]}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(strings.NewReader(
+		`{"name": "x", "signal": {"kind": "ecg"}, "sync": [{"name": "rebind-test", "groups": ["0x07"]}]}`)); err == nil {
+		t.Error("rebinding a registered name to a different descriptor was accepted")
+	}
+}
+
 func TestParseDefaults(t *testing.T) {
 	s, err := Parse(strings.NewReader(`{"name": "mini", "signal": {"kind": "emg"}}`))
 	if err != nil {
