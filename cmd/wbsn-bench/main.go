@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/scenario"
 )
@@ -34,6 +35,15 @@ type bench struct {
 	format     string
 	checkpoint string
 	jsonRows   []exp.PointJSON
+
+	// Observability surfaces: the registry is the uniform stderr stats
+	// sink (and -metrics-out document); the sink additionally feeds the
+	// -timeline-out event timeline when requested. Observation only —
+	// solved points and measurements are bit-identical either way.
+	reg         *obs.Registry
+	sink        *obs.Sink
+	timelineOut string
+	metricsOut  string
 }
 
 // fail saves whatever the session solved so far (a failing grid must not
@@ -58,16 +68,51 @@ func (b *bench) saveCheckpoint() {
 		b.checkpoint, solved, demands)
 }
 
-// printSessionStats summarizes the session's reuse and fast-forward work on
-// stderr (progress channel, so diff-based comparisons of stdout stay clean).
-func (b *bench) printSessionStats() {
-	st := b.sweep.Session.Stats()
-	fmt.Fprintf(os.Stderr, "session: %d builds, %d probe runs (%d cache hits), %d forks, %d warm measures\n",
-		st.Builds, st.ProbeRuns, st.DemandHits, st.Forks, st.WarmMeasures)
-	fmt.Fprintf(os.Stderr, "session: fast-forward skipped %d cycles in %d idle leaps, %d cycles in %d spin leaps\n",
-		st.FFSkippedCycles, st.FFLeaps, st.SpinSkippedCycles, st.SpinLeaps)
-	fmt.Fprintf(os.Stderr, "session: block engine batched %d cycles in %d engagements\n",
-		st.BlockCycles, st.BlockRuns)
+// finish publishes the session's reuse and fast-forward work into the
+// metrics registry, prints the registry as the uniform "stats" block on
+// stderr (progress channel, so diff-based comparisons of stdout stay
+// clean) unless -quiet, and writes the requested observability exports.
+func (b *bench) finish(quiet bool) {
+	b.sweep.Session.Stats().Publish(b.reg)
+	if !quiet {
+		if err := b.reg.WriteText(os.Stderr, "stats "); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	b.writeObsOutputs()
+}
+
+// writeObsOutputs writes the -timeline-out (Chrome trace-event JSON,
+// Perfetto-loadable) and -metrics-out (stable registry JSON consumed by
+// tools/benchjson) files when requested. Session stats must already be
+// published (finish).
+func (b *bench) writeObsOutputs() {
+	if b.timelineOut != "" {
+		f, err := os.Create(b.timelineOut)
+		if err != nil {
+			b.fail("timeline-out", err)
+		}
+		if err := obs.WriteChromeTrace(f, b.sink.Events()); err != nil {
+			f.Close()
+			b.fail("timeline-out", err)
+		}
+		if err := f.Close(); err != nil {
+			b.fail("timeline-out", err)
+		}
+	}
+	if b.metricsOut != "" {
+		f, err := os.Create(b.metricsOut)
+		if err != nil {
+			b.fail("metrics-out", err)
+		}
+		if err := b.reg.WriteJSON(f); err != nil {
+			f.Close()
+			b.fail("metrics-out", err)
+		}
+		if err := f.Close(); err != nil {
+			b.fail("metrics-out", err)
+		}
+	}
 }
 
 func (b *bench) loadCheckpoint() {
@@ -154,6 +199,9 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "session checkpoint file: loaded when present, rewritten after the run; re-runs reuse solved operating points (bit-identical results)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	timelineOut := flag.String("timeline-out", "", "write the simulated-event timeline as Chrome trace-event JSON (load in Perfetto); observation only, results are bit-identical")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry (counters and cycle histograms) as stable JSON")
+	timelineCap := flag.Int("timeline-cap", obs.DefaultTimelineCap, "timeline ring capacity in events; oldest events are dropped beyond it")
 	flag.Parse()
 	if *format != "table" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (want table or json)\n", *format)
@@ -176,7 +224,20 @@ func main() {
 		defer writeHeapProfile(*memprofile)
 	}
 
-	opts := exp.Options{Duration: *duration, ProbeDuration: *probe, PathoFrac: *patho, Seed: *seed, Exact: *exact}
+	// The registry always exists (it backs the uniform stderr stats block);
+	// the timeline sink is built only when an export was requested, so the
+	// default path keeps the engines' disabled-observer fast path.
+	reg := obs.NewRegistry()
+	var sink *obs.Sink
+	if *timelineOut != "" || *metricsOut != "" {
+		var tl *obs.Timeline
+		if *timelineOut != "" {
+			tl = obs.NewTimeline(*timelineCap)
+		}
+		sink = obs.NewSink(tl, reg)
+	}
+
+	opts := exp.Options{Duration: *duration, ProbeDuration: *probe, PathoFrac: *patho, Seed: *seed, Exact: *exact, Obs: sink}
 	params := power.DefaultParams()
 	ctx := context.Background()
 
@@ -184,7 +245,8 @@ func main() {
 	// cache, built images, probe runs and solved points are shared, so work
 	// reused between Table I, Figure 6, Figure 7 and the scenario grids
 	// happens once.
-	b := &bench{sweep: exp.NewSweep(*jobs, params), format: *format, checkpoint: *checkpoint}
+	b := &bench{sweep: exp.NewSweep(*jobs, params), format: *format, checkpoint: *checkpoint,
+		reg: reg, sink: sink, timelineOut: *timelineOut, metricsOut: *metricsOut}
 	if !*quiet {
 		b.sweep.Progress = exp.ProgressPrinter(os.Stderr)
 	}
@@ -225,9 +287,7 @@ func main() {
 		})
 		b.flushJSON()
 		b.saveCheckpoint()
-		if !*quiet {
-			b.printSessionStats()
-		}
+		b.finish(*quiet)
 		return
 	}
 
@@ -238,6 +298,7 @@ func main() {
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		applyFlags := func(o *exp.Options) {
 			o.Exact = *exact
+			o.Obs = sink
 			if set["duration"] {
 				o.Duration = *duration
 			}
@@ -258,9 +319,7 @@ func main() {
 		}
 		b.flushJSON()
 		b.saveCheckpoint()
-		if !*quiet {
-			b.printSessionStats()
-		}
+		b.finish(*quiet)
 		return
 	}
 
@@ -313,9 +372,7 @@ func main() {
 	})
 	b.flushJSON()
 	b.saveCheckpoint()
-	if !*quiet {
-		b.printSessionStats()
-	}
+	b.finish(*quiet)
 }
 
 // writeHeapProfile snapshots the heap after a final GC, so the profile shows

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/scenario"
@@ -124,6 +125,9 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel sweep workers (-sweep; results are identical for any value)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: resume the simulation from it when present (same flags required) and rewrite it after -duration more seconds; with -sweep, persists solved operating points instead")
 	record := flag.Float64("record", 0, "synthesized record length in seconds (0 = -duration+2); generators are not prefix-stable across lengths, so checkpointed runs and any run they should be compared against must pin the same -record")
+	timelineOut := flag.String("timeline-out", "", "write the run's event timeline as Chrome trace-event JSON (loads in Perfetto / chrome://tracing); observation only — results are bit-identical and all fast paths stay engaged")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics registry (counters + histograms) as stable JSON to this file")
+	timelineCap := flag.Int("timeline-cap", obs.DefaultTimelineCap, "timeline ring capacity in events; the oldest events drop beyond it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -172,6 +176,20 @@ func main() {
 		}
 	}
 
+	// The metrics registry always exists — it is the uniform stderr stats
+	// surface replacing the old ad-hoc stdout stats lines — while the
+	// timeline ring is only allocated when it will be exported. Attaching
+	// the sink never changes simulated results (see docs/OBSERVABILITY.md).
+	reg := obs.NewRegistry()
+	var sink *obs.Sink
+	if *timelineOut != "" || *metricsOut != "" {
+		var tl *obs.Timeline
+		if *timelineOut != "" {
+			tl = obs.NewTimeline(*timelineCap)
+		}
+		sink = obs.NewSink(tl, reg)
+	}
+
 	if *sweepArchs {
 		if *dumpMapping || *traceN > 0 {
 			fatal(fmt.Errorf("-sweep compares solved operating points and is incompatible with -dump-mapping and -trace; run those against one -arch"))
@@ -180,7 +198,9 @@ func main() {
 			Duration: *duration, ProbeDuration: *probe,
 			PathoFrac: base.PathologicalFrac, Seed: base.Seed,
 			Source: base, Scenario: scenarioName, Exact: *exact,
-		}, *jobs, *checkpoint)
+			Obs: sink,
+		}, *jobs, *checkpoint, reg)
+		writeObsOutputs(sink, reg, *timelineOut, *metricsOut)
 		return
 	}
 
@@ -253,6 +273,9 @@ func main() {
 		rec = trace.NewRecorder(*traceN)
 		p.SetTracer(rec)
 	}
+	if sink != nil {
+		p.SetObserver(sink)
+	}
 	if err := p.RunSeconds(*duration); err != nil {
 		fatal(err)
 	}
@@ -277,26 +300,15 @@ func main() {
 		c.IMBroadcastPct(), c.DMBroadcastPct(), c.RuntimeOverheadPct())
 	fmt.Printf("  code overhead %.2f%%, active IM banks %d, active DM banks %d\n",
 		v.Res.Image.CodeOverheadPct(), p.ActiveIMBanks(), p.ActiveDMBanks())
-	if !*exact && c.Cycles > 0 {
-		fmt.Printf("  fast-forward: %d leaps skipped %d of %d cycles (%.2f%%)\n",
-			p.FFLeaps(), p.FFSkippedCycles(), c.Cycles, 100*float64(p.FFSkippedCycles())/float64(c.Cycles))
-	}
-	if !*exact && p.SpinLeaps() > 0 {
-		// Spin diagnostics reset on a checkpoint restore (unlike the idle
-		// counters, which the snapshot carries), so they describe this
-		// invocation's segment and are reported against its cycles.
-		segment := p.Cycle() - startCycle
-		fmt.Printf("  spin fast-forward: %d leaps skipped %d of %d cycles simulated this run (%.2f%%)\n",
-			p.SpinLeaps(), p.SpinSkippedCycles(), segment, 100*float64(p.SpinSkippedCycles())/float64(segment))
-	}
-	if !*exact && p.BlockRuns() > 0 {
-		// Block-engine diagnostics are segment-relative for the same reason.
-		// Unlike the fast-forward lines, these cycles were fully simulated —
-		// the engine only batches their dispatch and accounting.
-		segment := p.Cycle() - startCycle
-		fmt.Printf("  block engine: %d engagements batched %d of %d cycles simulated this run (%.2f%%)\n",
-			p.BlockRuns(), p.BlockCycles(), segment, 100*float64(p.BlockCycles())/float64(segment))
-	}
+	// Engine diagnostics (idle/spin/block fast-path work) now flow through
+	// the metrics registry and print uniformly on stderr below — stdout
+	// carries only simulated results, so runs can be byte-compared without
+	// stripping stats lines. Spin/block odometers reset on a checkpoint
+	// restore (unlike the idle counters, which the snapshot carries) and
+	// therefore describe this invocation's segment, published alongside
+	// its cycle count.
+	p.PublishMetrics(reg)
+	reg.Add("sim.segment_cycles", p.Cycle()-startCycle)
 	rep, err := p.PowerReport(power.DefaultParams())
 	if err != nil {
 		fatal(err)
@@ -320,6 +332,10 @@ func main() {
 			fatal(err)
 		}
 	}
+	if err := reg.WriteText(os.Stderr, "stats "); err != nil {
+		fatal(err)
+	}
+	writeObsOutputs(sink, reg, *timelineOut, *metricsOut)
 	// The full report has printed; now degrade the exit status if the run
 	// ended badly. Deadlock wins over timeout: a descriptor whose timeout
 	// fired but recovered kept making progress, a wedged platform did not.
@@ -340,7 +356,7 @@ func main() {
 // file, when given, persists the session's solved operating points across
 // invocations (the platform-snapshot form of -checkpoint needs a single
 // fixed configuration, which a sweep by definition does not have).
-func runSweep(app string, opts exp.Options, jobs int, checkpoint string) {
+func runSweep(app string, opts exp.Options, jobs int, checkpoint string, reg *obs.Registry) {
 	s := exp.NewSweep(jobs, power.DefaultParams())
 	s.Progress = exp.ProgressPrinter(os.Stderr)
 	if checkpoint != "" {
@@ -373,6 +389,43 @@ func runSweep(app string, opts exp.Options, jobs int, checkpoint string) {
 		fmt.Printf("%-10s %8.2f %8.2f %9d %10.1f %10.1f %7.1f%%\n",
 			points[i].Arch, m.Op.FreqHz/1e6, m.Op.VoltageV, m.Cores,
 			m.Report.TotalUW, m.Report.TotalDynamicUW, 100*m.Report.TotalUW/scUW)
+	}
+	s.Session.Stats().Publish(reg)
+	if err := reg.WriteText(os.Stderr, "stats "); err != nil {
+		fatal(err)
+	}
+}
+
+// writeObsOutputs writes the -timeline-out and -metrics-out files (each
+// only when requested). The timeline export is the Chrome trace-event
+// JSON form loadable in Perfetto; the metrics export is the registry's
+// stable JSON document consumed by tools/benchjson.
+func writeObsOutputs(sink *obs.Sink, reg *obs.Registry, timelinePath, metricsPath string) {
+	if timelinePath != "" {
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, sink.Events()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

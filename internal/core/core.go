@@ -125,9 +125,38 @@ type Synchronizer struct {
 	// reserved shared-DM locations (point index == word address).
 	Mirror func(point int, value uint16)
 
+	// Obs, when set, receives barrier-traffic notifications (arrivals,
+	// releases, timeouts, wakes) stamped with the synchronizer's current
+	// commit cycle. Observation only: implementations must not call back
+	// into the synchronizer. Like Mirror it is process state, never part
+	// of snapshots; the platform installs itself here when a sink is
+	// attached and clears it otherwise, so the disabled path is a single
+	// nil-interface check per commit event.
+	Obs SyncObserver
+
 	// violations records protocol errors (counter underflow/overflow,
 	// out-of-range point ids), capped to keep memory bounded.
 	violations []string
+}
+
+// SyncObserver receives the synchronizer's boundary events. Arrivals and
+// releases carry the sync group and point; timeouts carry the recovered
+// core and how many points its flag was withdrawn from. Every callback
+// fires at a stepped (committed) cycle — none of the fast-forward engines
+// can skip one (idle leaps cover only quiescent stretches, spin windows
+// contain no sync operations, block strides bail before sync ISE) — so
+// the event stream is identical whether or not fast paths are engaged.
+type SyncObserver interface {
+	// SyncArrive fires when core's flag is set at (group, point).
+	SyncArrive(cycle uint64, group, point, core int)
+	// SyncRelease fires when an SDEC opens (group, point), resuming the
+	// released mask of member cores.
+	SyncRelease(cycle uint64, group, point int, released uint8)
+	// SyncTimeout fires when core's gated-wait deadline expires and the
+	// recoverable sync-timeout IRQ is latched.
+	SyncTimeout(cycle uint64, core, withdrawn int)
+	// SyncWake fires when core leaves the gated state.
+	SyncWake(cycle uint64, core int)
 }
 
 // WakeLatency is the number of cycles between the synchronization event
@@ -278,6 +307,9 @@ func (s *Synchronizer) wake(c int) {
 		s.state[c] = StateRunning
 		s.wakeAt[c] = s.cycle + WakeLatency
 		s.ctr.SyncWakes++
+		if s.Obs != nil {
+			s.Obs.SyncWake(s.cycle, c)
+		}
 	case StateRunning:
 		s.token[c] = true
 	}
@@ -603,11 +635,13 @@ func (s *Synchronizer) commitTimeouts(cycle uint64) {
 // design, so no protocol violation is recorded.
 func (s *Synchronizer) fireTimeout(c int) {
 	bit := uint8(1) << uint(c)
+	withdrawn := 0
 	for p := range s.points {
 		if s.points[p].Flags&bit == 0 {
 			continue
 		}
 		s.points[p].Flags &^= bit
+		withdrawn++
 		s.ctr.SyncPointWrites++
 		if s.Mirror != nil {
 			s.Mirror(p, s.points[p].Value())
@@ -617,6 +651,9 @@ func (s *Synchronizer) fireTimeout(c int) {
 	s.irqPend[c] |= isa.IRQSyncTimeout
 	s.ctr.SyncTimeouts++
 	s.timeoutAt[c] = 0
+	if s.Obs != nil {
+		s.Obs.SyncTimeout(s.cycle, c, withdrawn)
+	}
 	s.wake(c)
 }
 
@@ -624,6 +661,13 @@ func (s *Synchronizer) fireTimeout(c int) {
 // sync group g: the barrier release resumes only flagged members of g.
 func (s *Synchronizer) apply(g, p int, setFlags uint8, incs, decs int) {
 	pt := &s.points[p]
+	if s.Obs != nil && setFlags != 0 {
+		for c := 0; c < s.nc; c++ {
+			if setFlags&(1<<uint(c)) != 0 {
+				s.Obs.SyncArrive(s.cycle, g, p, c)
+			}
+		}
+	}
 	pt.Flags |= setFlags
 	delta := incs - decs
 	nv := int(pt.Counter) + delta
@@ -647,6 +691,9 @@ func (s *Synchronizer) apply(g, p int, setFlags uint8, incs, decs int) {
 	if decs > 0 && pt.Counter == 0 && pt.Flags != 0 {
 		released := pt.Flags & s.groups[g]
 		pt.Flags &^= released
+		if s.Obs != nil && released != 0 {
+			s.Obs.SyncRelease(s.cycle, g, p, released)
+		}
 		for c := 0; c < s.nc; c++ {
 			if released&(1<<uint(c)) != 0 {
 				s.wake(c)

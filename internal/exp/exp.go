@@ -43,6 +43,7 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/signal"
@@ -79,6 +80,13 @@ type Options struct {
 	// per grid instead of once per point; synthesis is deterministic, so
 	// results are unchanged.
 	Cache *signal.Cache
+	// Obs, when non-nil, attaches the observability sink to every platform
+	// the session runs on this point's behalf and emits probe/verify/
+	// measure phase spans. Observation only: solved points, counters and
+	// measurements are bit-identical with or without it, and all fast-path
+	// engines stay engaged (unlike the tracer). A sweep's worker pool may
+	// share one sink; it is internally synchronized.
+	Obs *obs.Sink
 }
 
 // DefaultOptions returns a configuration balancing fidelity and runtime
@@ -197,6 +205,9 @@ func SolveOperatingPointFromScratch(ctx context.Context, app string, arch power.
 		return OperatingPoint{}, err
 	}
 	p.SetExact(opts.Exact)
+	if opts.Obs != nil {
+		p.SetObserver(opts.Obs)
+	}
 	if err := ctx.Err(); err != nil {
 		return OperatingPoint{}, err
 	}
@@ -253,6 +264,9 @@ func SolveOperatingPointFromScratch(ctx context.Context, app string, arch power.
 			return OperatingPoint{}, err
 		}
 		pp.SetExact(opts.Exact)
+		if opts.Obs != nil {
+			pp.SetObserver(opts.Obs)
+		}
 		if err := ctx.Err(); err != nil {
 			return OperatingPoint{}, err
 		}
@@ -328,6 +342,9 @@ func Measure(app string, arch power.Arch, op OperatingPoint, sig *signal.Source,
 		return nil, err
 	}
 	p.SetExact(opts.Exact)
+	if opts.Obs != nil {
+		p.SetObserver(opts.Obs)
+	}
 	if err := p.RunSeconds(opts.Duration); err != nil {
 		return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
 	}

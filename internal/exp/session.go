@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/apps"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/signal"
@@ -85,6 +86,28 @@ type SessionStats struct {
 	// block cycles were fully simulated, not skipped.
 	BlockRuns   uint64
 	BlockCycles uint64
+}
+
+// Publish writes the session's work counters into reg under the
+// "session." namespace — the registry form of the old ad-hoc "session:"
+// stderr lines, printed uniformly by the CLIs via Registry.WriteText.
+func (st SessionStats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Add("session.builds", st.Builds)
+	reg.Add("session.forks", st.Forks)
+	reg.Add("session.probe_runs", st.ProbeRuns)
+	reg.Add("session.demand_hits", st.DemandHits)
+	reg.Add("session.solve_hits", st.SolveHits)
+	reg.Add("session.early_aborts", st.EarlyAborts)
+	reg.Add("session.warm_measures", st.WarmMeasures)
+	reg.Add("session.ff_leaps", st.FFLeaps)
+	reg.Add("session.ff_skipped_cycles", st.FFSkippedCycles)
+	reg.Add("session.spin_leaps", st.SpinLeaps)
+	reg.Add("session.spin_skipped_cycles", st.SpinSkippedCycles)
+	reg.Add("session.block_runs", st.BlockRuns)
+	reg.Add("session.block_cycles", st.BlockCycles)
 }
 
 // NewSession returns an empty session calibrated by params (nil selects
@@ -431,9 +454,15 @@ func (s *Session) runProbe(ctx context.Context, app string, demandArch power.Arc
 		return 0, err
 	}
 	s.count(func(st *SessionStats) { st.ProbeRuns++ })
+	if opts.Obs != nil {
+		p.SetObserver(opts.Obs)
+	}
 	m := markFF(p)
 	err = p.RunSeconds(opts.ProbeDuration)
 	s.recordFF(p, m)
+	if opts.Obs != nil && err == nil {
+		opts.Obs.Phase(fmt.Sprintf("probe %s/%v", app, demandArch), 0, p.Cycle(), 0)
+	}
 	if err != nil {
 		return 0, &probeError{err: err}
 	}
@@ -511,9 +540,15 @@ func (s *Session) solve(ctx context.Context, app string, arch power.Arch, sig, p
 		if err := ctx.Err(); err != nil {
 			return OperatingPoint{}, err
 		}
+		if opts.Obs != nil {
+			pp.SetObserver(opts.Obs)
+		}
 		pass, err := s.verify(pp, opts.ProbeDuration)
 		if err != nil {
 			return OperatingPoint{}, err
+		}
+		if opts.Obs != nil {
+			opts.Obs.Phase(fmt.Sprintf("verify %s/%v @%.2fMHz", app, arch, freq/1e6), 0, pp.Cycle(), int64(try))
 		}
 		if !pass {
 			lastFailedFreq = freq
@@ -633,6 +668,10 @@ func (s *Session) Measure(ctx context.Context, app string, arch power.Arch, op O
 		if err := pp.Restore(snap); err != nil {
 			return nil, err
 		}
+		if opts.Obs != nil {
+			pp.SetObserver(opts.Obs)
+		}
+		warmStart := pp.Cycle()
 		total := pp.CyclesFor(opts.Duration)
 		if pp.Cycle() <= total {
 			// A snapshot of a fully halted run is already final: the
@@ -647,6 +686,9 @@ func (s *Session) Measure(ctx context.Context, app string, arch power.Arch, op O
 				}
 			}
 			s.count(func(st *SessionStats) { st.WarmMeasures++ })
+			if opts.Obs != nil {
+				opts.Obs.Phase(fmt.Sprintf("measure %s/%v (warm)", app, arch), warmStart, pp.Cycle()-warmStart, 0)
+			}
 			p = pp
 			// A grid measures each solved point once; drop the snapshot
 			// (megabytes per configuration) now that it served its purpose.
@@ -668,11 +710,17 @@ func (s *Session) Measure(ctx context.Context, app string, arch power.Arch, op O
 		if err != nil {
 			return nil, err
 		}
+		if opts.Obs != nil {
+			p.SetObserver(opts.Obs)
+		}
 		m := markFF(p)
 		err = p.RunSeconds(opts.Duration)
 		s.recordFF(p, m)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s/%v measure: %w", app, arch, err)
+		}
+		if opts.Obs != nil {
+			opts.Obs.Phase(fmt.Sprintf("measure %s/%v", app, arch), 0, p.Cycle(), 0)
 		}
 	}
 	return finishMeasurement(v, p, app, arch, op, s.measureParams())

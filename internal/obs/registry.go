@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Registry holds named monotonic counters and cycle histograms. Engines,
+// power counters and session stats publish into it at end of run, and the
+// sink feeds the histograms live (leap lengths, barrier waits). All reads
+// and writes are mutex-guarded, so a sweep's worker pool can share one
+// registry. The zero value is not usable; use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	hists    map[string]*Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		hists:    make(map[string]*Hist),
+	}
+}
+
+// Hist is a histogram of uint64 samples (cycle counts) bucketed by power
+// of two: bucket i counts samples whose bit length is i, i.e. values in
+// [2^(i-1), 2^i). Exact count/sum/min/max ride along so means and ranges
+// need no bucket interpolation.
+type Hist struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets [65]uint64
+}
+
+func (h *Hist) observe(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bits.Len64(v)]++
+}
+
+// Add increments counter name by n.
+func (r *Registry) Add(name string, n uint64) {
+	r.mu.Lock()
+	r.counters[name] += n
+	r.mu.Unlock()
+}
+
+// Observe records one sample into histogram name.
+func (r *Registry) Observe(name string, v uint64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of counter name (0 if absent).
+func (r *Registry) Counter(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Histogram returns a copy of histogram name and whether it exists.
+func (r *Registry) Histogram(name string) (Hist, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		return Hist{}, false
+	}
+	return *h, true
+}
+
+// WriteText writes the registry as sorted, deterministic one-per-line
+// text, each line prefixed with prefix. Counters print as "name value",
+// histograms as "name count=N sum=S min=M max=X" — integers only, so the
+// output is stable across platforms. This is the uniform stats block the
+// CLIs print on stderr.
+func (r *Registry) WriteText(w io.Writer, prefix string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", prefix, name, r.counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "%s%s count=%d sum=%d min=%d max=%d\n",
+			prefix, name, h.Count, h.Sum, h.Min, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histJSON is the exported histogram shape: exact summary plus the
+// nonzero power-of-two buckets as [upper bound, count] pairs, ordered by
+// bound, so the document is byte-stable for identical contents.
+type histJSON struct {
+	Count   uint64      `json:"count"`
+	Sum     uint64      `json:"sum"`
+	Min     uint64      `json:"min"`
+	Max     uint64      `json:"max"`
+	Buckets [][2]uint64 `json:"buckets"`
+}
+
+// metricsJSON is the -metrics-out document. encoding/json writes map keys
+// sorted, so identical registries marshal byte-identically.
+type metricsJSON struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Histograms map[string]histJSON `json:"histograms"`
+}
+
+// WriteJSON writes the registry as the stable metrics document consumed
+// by tools/benchjson and the -metrics-out flag.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	doc := metricsJSON{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Histograms: make(map[string]histJSON, len(r.hists)),
+	}
+	for name, v := range r.counters {
+		doc.Counters[name] = v
+	}
+	for name, h := range r.hists {
+		hj := histJSON{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
+		for i, c := range h.Buckets {
+			if c != 0 {
+				var bound uint64
+				if i >= 64 {
+					bound = 1<<64 - 1
+				} else {
+					bound = 1 << uint(i)
+				}
+				hj.Buckets = append(hj.Buckets, [2]uint64{bound, c})
+			}
+		}
+		doc.Histograms[name] = hj
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import "sync"
+
+// Sink is the attachment point the engines emit into: a timeline, a
+// registry, or both. A nil *Sink is the canonical "observability off"
+// value — every method tolerates a nil receiver and returns immediately,
+// so instrumentation sites are a nil check costing zero allocations.
+// Keep sink fields and parameters typed as the concrete *Sink; boxing
+// one into an interface would make the nil test and the zero-alloc
+// guarantee unreliable.
+//
+// A sink may be shared by concurrent platforms (a session sweep): the
+// timeline is guarded by the sink's mutex and the registry by its own.
+type Sink struct {
+	mu  sync.Mutex
+	tl  *Timeline
+	reg *Registry
+}
+
+// NewSink returns a sink recording into tl and reg; either may be nil to
+// attach only the other surface.
+func NewSink(tl *Timeline, reg *Registry) *Sink {
+	return &Sink{tl: tl, reg: reg}
+}
+
+// Timeline returns the sink's timeline (nil if none, or on a nil sink).
+func (s *Sink) Timeline() *Timeline {
+	if s == nil {
+		return nil
+	}
+	return s.tl
+}
+
+// Registry returns the sink's registry (nil if none, or on a nil sink).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Events snapshots the timeline's live events (nil if no timeline).
+func (s *Sink) Events() []Event {
+	if s == nil || s.tl == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tl.Events()
+}
+
+// Instant records a zero-duration event at cycle.
+func (s *Sink) Instant(kind Kind, track Track, id int32, cycle uint64, a1, a2 int64) {
+	if s == nil || s.tl == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tl.append(Event{Cycle: cycle, Kind: kind, Track: track, ID: id, Arg1: a1, Arg2: a2})
+	s.mu.Unlock()
+}
+
+// Span records an event covering [start, start+dur) cycles.
+func (s *Sink) Span(kind Kind, track Track, id int32, start, dur uint64, a1, a2 int64) {
+	if s == nil || s.tl == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tl.append(Event{Cycle: start, Dur: dur, Kind: kind, Track: track, ID: id, Arg1: a1, Arg2: a2})
+	s.mu.Unlock()
+}
+
+// Phase records a labeled session-phase span. Unlike the boundary emits
+// it carries a string; callers guard phase label construction behind a
+// nil check so disabled runs never build it.
+func (s *Sink) Phase(label string, start, dur uint64, a1 int64) {
+	if s == nil || s.tl == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tl.append(Event{Cycle: start, Dur: dur, Kind: KindPhase, Track: TrackSession, Arg1: a1, Label: label})
+	s.mu.Unlock()
+}
+
+// Add increments registry counter name by n (no-op without a registry).
+func (s *Sink) Add(name string, n uint64) {
+	if s == nil || s.reg == nil {
+		return
+	}
+	s.reg.Add(name, n)
+}
+
+// Observe records one histogram sample (no-op without a registry).
+func (s *Sink) Observe(name string, v uint64) {
+	if s == nil || s.reg == nil {
+		return
+	}
+	s.reg.Observe(name, v)
+}

@@ -1,0 +1,69 @@
+package obs
+
+// Timeline is a fixed-capacity ring of Events. The ring is preallocated
+// at construction and never grows: when full, the oldest events are
+// overwritten and counted in Dropped, so a long run keeps its most recent
+// window instead of failing or allocating. The zero value is unusable;
+// use NewTimeline.
+//
+// Timeline is not safe for concurrent use on its own; Sink serializes
+// access to it.
+type Timeline struct {
+	buf     []Event
+	head    int    // index of the next slot to write
+	n       int    // live events, <= len(buf)
+	dropped uint64 // events overwritten after the ring filled
+}
+
+// DefaultTimelineCap is the ring capacity the CLIs use unless overridden:
+// large enough to hold every boundary event of the bundled scenarios at
+// their default durations, small enough to stay a few dozen MB.
+const DefaultTimelineCap = 1 << 18
+
+// NewTimeline returns a ring holding up to cap events (minimum 1).
+func NewTimeline(capacity int) *Timeline {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Timeline{buf: make([]Event, capacity)}
+}
+
+// append records ev, overwriting the oldest event if the ring is full.
+func (t *Timeline) append(ev Event) {
+	t.buf[t.head] = ev
+	t.head++
+	if t.head == len(t.buf) {
+		t.head = 0
+	}
+	if t.n < len(t.buf) {
+		t.n++
+	} else {
+		t.dropped++
+	}
+}
+
+// Len reports the number of live events.
+func (t *Timeline) Len() int { return t.n }
+
+// Dropped reports how many events were overwritten after the ring filled.
+func (t *Timeline) Dropped() uint64 { return t.dropped }
+
+// Events returns the live events oldest-first as a fresh slice. Within
+// one platform the order is cycle-monotone; when several platforms share
+// a sink (a session sweep) events interleave in emission order.
+func (t *Timeline) Events() []Event {
+	out := make([]Event, 0, t.n)
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Reset discards all events and the dropped count.
+func (t *Timeline) Reset() {
+	t.head, t.n, t.dropped = 0, 0, 0
+}

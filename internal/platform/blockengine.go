@@ -49,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // blockEngine is the engine state embedded in Platform.
@@ -260,6 +261,10 @@ loop:
 	p.lastCycleIdle = false
 	p.block.runs++
 	p.block.cycles += n
+	// One span per stride: the engine bails before MMIO, sync ISE, HALT
+	// and faults, so no boundary event can fall inside the stretch.
+	p.obs.Span(obs.KindBlockStride, obs.TrackEngine, 0, start, n, int64(instrs), 0)
+	p.obs.Observe("engine.block_stride_cycles", n)
 
 	// Spin-detector hygiene: the stretch was not stepped, so the anchor's
 	// PC history is stale and any armed probe assumed contiguity it no

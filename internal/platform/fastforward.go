@@ -33,6 +33,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Run simulates up to n further cycles, stopping early when every core has
@@ -131,6 +132,11 @@ func (p *Platform) leap(k uint64) {
 		}
 	}
 	p.ctr.AddIdleCycles(k, gated, halted)
+	// One span event for the whole leap: no boundary event can occur inside
+	// a quiescent stretch, so this is lossless, and emitting per-cycle
+	// events would defeat the engine the observer exists to preserve.
+	p.obs.Span(obs.KindIdleLeap, obs.TrackEngine, 0, p.cycle, k, 0, 0)
+	p.obs.Observe("engine.idle_leap_cycles", k)
 	p.cycle += k
 	p.sync.FastForward(p.cycle)
 	p.imx.AdvanceN(k)

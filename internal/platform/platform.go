@@ -49,6 +49,7 @@ import (
 	"repro/internal/interco"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/periph"
 	"repro/internal/power"
 	"repro/internal/trace"
@@ -173,6 +174,15 @@ type Platform struct {
 	tracer     *trace.Recorder
 	lastStatus []coreStatus
 
+	// Observability sink state (see internal/obs). Unlike the tracer the
+	// sink records only boundary events, so attaching one leaves all
+	// three fast-path engines engaged and the simulated results
+	// bit-identical. obsWait and obsADC are process state like the
+	// spin/block diagnostics: reset on adopt(), never snapshotted.
+	obs     *obs.Sink
+	obsWait []uint64                      // per-core barrier-arrival cycle stamp (0 = none)
+	obsADC  [periph.NumADCChannels]uint64 // per-channel published-sample count
+
 	fault error
 }
 
@@ -189,6 +199,82 @@ func (p *Platform) SetTracer(r *trace.Recorder) {
 
 // Tracer returns the attached recorder, if any.
 func (p *Platform) Tracer() *trace.Recorder { return p.tracer }
+
+// SetObserver attaches an observability sink (nil detaches). The sink
+// receives boundary events — core wake/sleep/halt, barrier traffic,
+// sync timeouts, ADC sample publications, and one span per fast-path
+// leap or stride — stamped with exact simulated cycles. Attaching a sink
+// never changes simulated results and keeps all fast-path engines
+// engaged; with no sink attached the instrumentation sites cost a nil
+// check and zero allocations.
+func (p *Platform) SetObserver(s *obs.Sink) {
+	p.obs = s
+	if s != nil {
+		p.sync.Obs = p
+	} else {
+		p.sync.Obs = nil
+	}
+	p.obsReset()
+}
+
+// Observer returns the attached sink, if any.
+func (p *Platform) Observer() *obs.Sink { return p.obs }
+
+// obsReset clears the sink-derived per-platform stamps. Called when the
+// observer changes and when a snapshot is adopted: the stamps describe
+// this process's observation window, not architectural state.
+func (p *Platform) obsReset() {
+	for i := range p.obsWait {
+		p.obsWait[i] = 0
+	}
+	for i := range p.obsADC {
+		p.obsADC[i] = 0
+	}
+}
+
+// barrierWaitName indexes the per-group barrier wait-time histograms so
+// the enabled emission path never formats strings.
+var barrierWaitName = [power.MaxSyncGroups]string{
+	"sync.barrier_wait_cycles.g0",
+	"sync.barrier_wait_cycles.g1",
+	"sync.barrier_wait_cycles.g2",
+	"sync.barrier_wait_cycles.g3",
+}
+
+// SyncArrive implements core.SyncObserver: a core registered its flag at
+// a sync point. The first arrival since the last release stamps the
+// barrier wait start for the wait-time histogram.
+func (p *Platform) SyncArrive(cycle uint64, g, pt, c int) {
+	if p.obsWait[c] == 0 {
+		p.obsWait[c] = cycle
+	}
+	p.obs.Instant(obs.KindBarrierArrive, obs.TrackSync, int32(g), cycle, int64(pt), int64(c))
+}
+
+// SyncRelease implements core.SyncObserver: an SDEC opened a sync point.
+// Released cores' registration-to-release spans feed the per-group
+// barrier wait-time histogram.
+func (p *Platform) SyncRelease(cycle uint64, g, pt int, released uint8) {
+	p.obs.Instant(obs.KindBarrierRelease, obs.TrackSync, int32(g), cycle, int64(pt), int64(released))
+	for c := 0; c < p.ncore; c++ {
+		if released&(1<<uint(c)) != 0 && p.obsWait[c] != 0 {
+			p.obs.Observe(barrierWaitName[g], cycle-p.obsWait[c])
+			p.obsWait[c] = 0
+		}
+	}
+}
+
+// SyncTimeout implements core.SyncObserver: a gated-wait deadline fired.
+func (p *Platform) SyncTimeout(cycle uint64, c, withdrawn int) {
+	p.obs.Instant(obs.KindTimeout, obs.TrackCore, int32(c), cycle, int64(withdrawn), 0)
+	p.obs.Add("sync.timeouts_fired", 1)
+	p.obsWait[c] = 0
+}
+
+// SyncWake implements core.SyncObserver: a core left the gated state.
+func (p *Platform) SyncWake(cycle uint64, c int) {
+	p.obs.Instant(obs.KindWake, obs.TrackCore, int32(c), cycle, 0, 0)
+}
 
 // DebugEntry is one value written to the debug or error MMIO ports.
 type DebugEntry struct {
@@ -247,6 +333,7 @@ func New(cfg Config, img *Image) (*Platform, error) {
 		status:      make([]coreStatus, n),
 		loadVal:     make([]uint16, n),
 		memOps:      make([]cpu.MemOp, n),
+		obsWait:     make([]uint64, n),
 		exact:       cfg.Exact,
 	}
 	p.sync = core.NewSynchronizer(n, img.NumSyncPoints, cfg.Arch, &p.ctr)
@@ -347,6 +434,14 @@ func New(cfg Config, img *Image) (*Platform, error) {
 			if p.tracer != nil {
 				p.tracer.Record(p.cycle, -1, trace.KindIRQ, int32(mask), 0)
 			}
+			if p.obs != nil {
+				for ch := 0; ch < periph.NumADCChannels; ch++ {
+					if mask&(uint16(isa.IRQADC0)<<uint(ch)) != 0 {
+						p.obsADC[ch]++
+						p.obs.Instant(obs.KindADCSample, obs.TrackADC, int32(ch), p.cycle, int64(p.obsADC[ch]), 0)
+					}
+				}
+			}
 			p.sync.RaiseIRQ(mask)
 		}
 		var chans [periph.NumADCChannels]periph.Channel
@@ -395,6 +490,38 @@ func (p *Platform) CoreBusy(c int) uint64 { return p.perCoreBusy[c] }
 // single ADC sample period, the binding constraint for sequential workloads
 // with bursty on-demand processing.
 func (p *Platform) MaxSampleBusy() uint64 { return p.maxSampleBusy }
+
+// PublishMetrics publishes the platform's run diagnostics into reg: the
+// full activity counter set, the three fast-path engine odometers, the
+// per-core busy breakdown and the worst-case per-sample busy window.
+// This is the uniform stats surface the CLIs print on stderr (replacing
+// the former ad-hoc stdout stats lines); histograms (leap lengths,
+// barrier waits) additionally populate live when a sink built over the
+// same registry is attached.
+func (p *Platform) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.ctr.Publish(reg)
+	reg.Add("engine.ff.leaps", p.ffLeaps)
+	reg.Add("engine.ff.skipped_cycles", p.ffSkipped)
+	reg.Add("engine.spin.leaps", p.spin.leaps)
+	reg.Add("engine.spin.skipped_cycles", p.spin.skipped)
+	reg.Add("engine.block.runs", p.block.runs)
+	reg.Add("engine.block.cycles", p.block.cycles)
+	reg.Add("sim.cycles", p.cycle)
+	reg.Add("sim.max_sample_busy_cycles", p.maxSampleBusy)
+	for c := 0; c < p.ncore; c++ {
+		reg.Add(coreBusyName[c], p.perCoreBusy[c])
+	}
+}
+
+var coreBusyName = [isa.MaxCores]string{
+	"core.busy_cycles.c0", "core.busy_cycles.c1",
+	"core.busy_cycles.c2", "core.busy_cycles.c3",
+	"core.busy_cycles.c4", "core.busy_cycles.c5",
+	"core.busy_cycles.c6", "core.busy_cycles.c7",
+}
 
 // CoreState returns the synchronizer's view of core c.
 func (p *Platform) CoreState(c int) core.CoreState { return p.sync.State(c) }

@@ -206,6 +206,11 @@ func (p *Platform) adopt(s *Snapshot) error {
 	// block tables wherever the preconditions hold.
 	p.spinReset()
 	p.blockReset()
+	// Observability stamps (barrier-arrival cycles, per-channel sample
+	// counts) are process state for the same reason: they describe this
+	// process's observation window, never simulated state, and snapshots
+	// deliberately omit them (docs/FORMATS.md).
+	p.obsReset()
 	return nil
 }
 

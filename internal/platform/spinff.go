@@ -48,6 +48,7 @@ package platform
 import (
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/power"
 )
 
@@ -310,6 +311,11 @@ func (p *Platform) spinTryLeap(limit uint64) {
 		p.windowBusy[c] += uint32(n) * dw
 	}
 	k := n * period
+	// One span for the whole replayed stretch: spin windows are proven
+	// side-effect-free (no sync ops, sleeps or MMIO), so no boundary event
+	// is skipped and the leap is lossless for the observer.
+	p.obs.Span(obs.KindSpinLeap, obs.TrackEngine, 0, p.cycle, k, int64(period), int64(n))
+	p.obs.Observe("engine.spin_leap_cycles", k)
 	p.cycle += k
 	p.sync.FastForward(p.cycle)
 	p.imx.AdvanceN(k)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interco"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -293,11 +294,15 @@ func (p *Platform) RequestSleep(coreID int) bool {
 		}
 		p.tracer.Record(p.cycle, coreID, trace.KindSleep, arg, 0)
 	}
+	if gated {
+		p.obs.Instant(obs.KindSleep, obs.TrackCore, int32(coreID), p.cycle, 0, 0)
+	}
 	return gated
 }
 
 // Halt implements cpu.Env.
 func (p *Platform) Halt(coreID int) {
+	p.obs.Instant(obs.KindHalt, obs.TrackCore, int32(coreID), p.cycle, 0, 0)
 	p.sync.Halt(coreID)
 }
 

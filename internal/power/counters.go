@@ -1,5 +1,8 @@
 // Package power implements the energy/power model of the WBSN platform.
 //
+// Counters also publish themselves into the observability layer's metrics
+// registry (internal/obs), the uniform stats surface the CLIs expose.
+//
 // Following the paper's methodology (§IV-C), the architectural simulator is
 // annotated with per-component energy costs (the paper derives them from
 // post-layout RTL simulation in a 90 nm low-leakage process; here they are
@@ -8,6 +11,8 @@
 // operating voltage and frequency to produce average-power figures and the
 // per-component decomposition of Figure 6.
 package power
+
+import "repro/internal/obs"
 
 // Counters accumulates architectural activity during a simulation run. All
 // platform components share one instance.
@@ -187,6 +192,52 @@ func (c *Counters) AddScaled(o *Counters, n uint64) {
 	c.UngatedCoreCycles += n * o.UngatedCoreCycles
 	c.IRQs += n * o.IRQs
 	c.ADCSamples += n * o.ADCSamples
+}
+
+// Publish writes every activity counter into reg under the "counters."
+// namespace, in the registry's canonical snake_case naming. The per-group
+// operation split publishes all MaxSyncGroups entries so the exported
+// document's key set does not depend on the workload.
+func (c *Counters) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Add("counters.cycles", c.Cycles)
+	reg.Add("counters.core_active", c.CoreActive)
+	reg.Add("counters.core_stall", c.CoreStall)
+	reg.Add("counters.core_gated", c.CoreGated)
+	reg.Add("counters.core_halted", c.CoreHalted)
+	reg.Add("counters.instrs", c.Instrs)
+	reg.Add("counters.sync_instrs", c.SyncInstrs)
+	reg.Add("counters.branch_bubbles", c.BranchBubbles)
+	reg.Add("counters.im_reqs", c.IMReqs)
+	reg.Add("counters.im_accesses", c.IMAccesses)
+	reg.Add("counters.im_conflict", c.IMConflict)
+	reg.Add("counters.dm_reqs", c.DMReqs)
+	reg.Add("counters.dm_reads", c.DMReads)
+	reg.Add("counters.dm_writes", c.DMWrites)
+	reg.Add("counters.dm_conflict", c.DMConflict)
+	reg.Add("counters.mmio_reads", c.MMIOReads)
+	reg.Add("counters.mmio_writes", c.MMIOWrites)
+	reg.Add("counters.xbar_reqs", c.XbarReqs)
+	reg.Add("counters.sync_ops", c.SyncOps)
+	reg.Add("counters.sync_merged", c.SyncMerged)
+	reg.Add("counters.sync_wakes", c.SyncWakes)
+	reg.Add("counters.sync_point_writes", c.SyncPointWrites)
+	reg.Add("counters.sync_timeouts", c.SyncTimeouts)
+	for g, n := range c.SyncGroupOps {
+		reg.Add(syncGroupOpsName[g], n)
+	}
+	reg.Add("counters.ungated_core_cycles", c.UngatedCoreCycles)
+	reg.Add("counters.irqs", c.IRQs)
+	reg.Add("counters.adc_samples", c.ADCSamples)
+}
+
+var syncGroupOpsName = [MaxSyncGroups]string{
+	"counters.sync_group_ops.g0",
+	"counters.sync_group_ops.g1",
+	"counters.sync_group_ops.g2",
+	"counters.sync_group_ops.g3",
 }
 
 // Add accumulates o into c, for aggregating runs.

@@ -1,11 +1,20 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
-// array on stdout, one object per benchmark result line. It exists so
-// performance trajectories can be committed as data files (BENCH_engine.json)
-// and diffed across commits without parsing the free-form bench text again.
+// array, one object per benchmark result line. It exists so performance
+// trajectories can be committed as data files (BENCH_engine.json) and diffed
+// across commits without parsing the free-form bench text again.
 //
 // Usage:
 //
 //	go test -run '^$' -bench BlockEngine -benchtime 1x | go run ./tools/benchjson
+//	go test -run '^$' -bench 'FastForward' | go run ./tools/benchjson -out BENCH_engine.json -append BenchmarkIdleFastForward BenchmarkSpinFastForward
+//
+// Positional arguments are benchmark name filters: when present, only
+// results whose name matches one of them (exactly, or as a parent of a
+// sub-benchmark, with any -N GOMAXPROCS suffix ignored) are kept, so one
+// `go test -bench` sweep can feed several data files. -out writes the array
+// to a file instead of stdout; with -append the new results are merged onto
+// the file's existing array, which is how BENCH_engine.json accumulates
+// series for several engines across regeneration runs.
 //
 // A benchmark line has the shape
 //
@@ -21,6 +30,8 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,7 +49,9 @@ type Result struct {
 }
 
 // parseLine decodes one benchmark result line, reporting ok=false for
-// anything that is not one.
+// anything that is not one. The -N GOMAXPROCS suffix Go appends when running
+// with more than one proc is stripped, so committed data files read the same
+// regardless of the generating machine's core count.
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -48,7 +61,7 @@ func parseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: fields[0], Iterations: iters}
+	r := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
 	// The remainder alternates value, unit.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -68,21 +81,72 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// trimProcSuffix drops a trailing "-N" where N is all digits — the
+// GOMAXPROCS marker, not part of the benchmark's name.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// matches reports whether a (already proc-suffix-trimmed) result name is
+// selected by the positional filters. No filters selects everything; a
+// filter selects its exact benchmark and all of its sub-benchmarks.
+func matches(name string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	for _, f := range filters {
+		if name == f || strings.HasPrefix(name, f+"/") {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
+	outPath := flag.String("out", "", "write the JSON array to this file instead of stdout")
+	appendOut := flag.Bool("append", false, "with -out, merge new results onto the file's existing array")
+	flag.Parse()
+	if *appendOut && *outPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -append requires -out")
+		os.Exit(1)
+	}
+
 	var results []Result
+	if *appendOut {
+		prior, err := readResults(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		results = prior
+	}
+
+	matched := 0
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
+		r, ok := parseLine(sc.Text())
+		if !ok || !matches(r.Name, flag.Args()) {
+			continue
 		}
+		results = append(results, r)
+		matched++
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no matching benchmark lines on stdin")
 		os.Exit(1)
 	}
 	out, err := json.MarshalIndent(results, "", "  ")
@@ -90,6 +154,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	os.Stdout.Write(out)
-	os.Stdout.Write([]byte("\n"))
+	out = append(out, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// readResults loads an existing data file for -append. A missing file is an
+// empty series, so first runs and regeneration runs use the same command.
+func readResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var prior []Result
+	if err := json.Unmarshal(data, &prior); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return prior, nil
 }
