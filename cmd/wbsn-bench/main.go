@@ -73,7 +73,7 @@ func (b *bench) saveCheckpoint() {
 // stderr (progress channel, so diff-based comparisons of stdout stay
 // clean) unless -quiet, and writes the requested observability exports.
 func (b *bench) finish(quiet bool) {
-	b.sweep.Session.Stats().Publish(b.reg)
+	b.sweep.Session.PublishMetrics(b.reg)
 	if !quiet {
 		if err := b.reg.WriteText(os.Stderr, "stats "); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -205,6 +205,14 @@ func main() {
 	flag.Parse()
 	if *format != "table" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (want table or json)\n", *format)
+		os.Exit(1)
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "-jobs must be positive, got %d (it bounds the sweep worker pool; 1 = serial)\n", *jobs)
+		os.Exit(1)
+	}
+	if *timelineCap < 1 {
+		fmt.Fprintf(os.Stderr, "-timeline-cap must be positive, got %d (the timeline is a ring of that many events; omit -timeline-out to disable it)\n", *timelineCap)
 		os.Exit(1)
 	}
 

@@ -131,6 +131,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if *jobs < 1 {
+		fatal(fmt.Errorf("-jobs must be positive, got %d (it bounds the -sweep worker pool; 1 = serial)", *jobs))
+	}
+	if *timelineCap < 1 {
+		fatal(fmt.Errorf("-timeline-cap must be positive, got %d (the timeline is a ring of that many events; omit -timeline-out to disable it)", *timelineCap))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -390,7 +396,7 @@ func runSweep(app string, opts exp.Options, jobs int, checkpoint string, reg *ob
 			points[i].Arch, m.Op.FreqHz/1e6, m.Op.VoltageV, m.Cores,
 			m.Report.TotalUW, m.Report.TotalDynamicUW, 100*m.Report.TotalUW/scUW)
 	}
-	s.Session.Stats().Publish(reg)
+	s.Session.PublishMetrics(reg)
 	if err := reg.WriteText(os.Stderr, "stats "); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func writeEnvelope(t *testing.T, path string, env checkpointEnvelope) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	s := NewSession(power.DefaultParams())
+	env := checkpointEnvelope{
+		Magic:   checkpointMagic,
+		Version: CheckpointVersion,
+		Solved:  map[string]OperatingPoint{"k": {FreqHz: 1.5e6, VoltageV: 0.65}},
+		Demands: map[string]float64{"d": 987654.3210000001},
+	}
+	writeEnvelope(t, path, env)
+	if err := s.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	solved, demands := s.CheckpointSize()
+	if solved != 1 || demands != 1 {
+		t.Fatalf("loaded %d/%d entries, want 1/1", solved, demands)
+	}
+}
+
+func TestLoadCheckpointWrongMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	writeEnvelope(t, path, checkpointEnvelope{Magic: "wbsn-platform-snapshot", Version: CheckpointVersion})
+	err := NewSession(power.DefaultParams()).LoadCheckpoint(path)
+	if !errors.Is(err, ErrCheckpointMagic) {
+		t.Fatalf("foreign file: got %v, want ErrCheckpointMagic", err)
+	}
+	// The message should steer toward the most common cause: pointing the
+	// session flag at a platform snapshot.
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("magic error lacks the snapshot hint: %v", err)
+	}
+	if errors.Is(err, ErrCheckpointVersion) || errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("magic error aliases another class: %v", err)
+	}
+}
+
+func TestLoadCheckpointVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	writeEnvelope(t, path, checkpointEnvelope{Magic: checkpointMagic, Version: CheckpointVersion + 1})
+	err := NewSession(power.DefaultParams()).LoadCheckpoint(path)
+	if !errors.Is(err, ErrCheckpointVersion) {
+		t.Fatalf("future version: got %v, want ErrCheckpointVersion", err)
+	}
+	// Both versions must appear, so the user can tell which side is stale.
+	for _, want := range []string{"version", "delete the file"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("version error lacks %q: %v", want, err)
+		}
+	}
+}
+
+func TestLoadCheckpointTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	s := NewSession(power.DefaultParams())
+	writeEnvelope(t, path, checkpointEnvelope{Magic: checkpointMagic, Version: CheckpointVersion,
+		Solved: map[string]OperatingPoint{"k": {FreqHz: 1e6, VoltageV: 0.5}}})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = s.LoadCheckpoint(path)
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("truncated gob: got %v, want ErrCheckpointCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "delete the file") {
+		t.Fatalf("corrupt error lacks the recovery hint: %v", err)
+	}
+	// A failed load must not contaminate the session.
+	if solved, demands := s.CheckpointSize(); solved != 0 || demands != 0 {
+		t.Fatalf("failed load left %d/%d entries in the session", solved, demands)
+	}
+}
+
+func TestLoadCheckpointArbitraryBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.WriteFile(path, []byte("#!/bin/sh\necho not a checkpoint\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := NewSession(power.DefaultParams()).LoadCheckpoint(path)
+	// Non-gob data fails in the decoder, before magic is ever seen.
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("arbitrary bytes: got %v, want ErrCheckpointCorrupt", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/power"
+	"repro/internal/serve/lru"
 	"repro/internal/signal"
 )
 
@@ -41,10 +42,11 @@ type Session struct {
 
 	mu        sync.Mutex
 	variants  map[variantKey]*variantEntry
-	templates map[templateKey]*templateEntry
+	templates *lru.Cache[templateKey, *templateEntry]
 	demands   map[string]*demandEntry
 	solved    map[string]*solveEntry
 	warm      map[warmKey]*platform.Snapshot
+	store     PointStore
 
 	stats SessionStats
 }
@@ -86,32 +88,47 @@ type SessionStats struct {
 	// block cycles were fully simulated, not skipped.
 	BlockRuns   uint64
 	BlockCycles uint64
+
+	// Backing-store traffic (zero without a SetStore): results served from
+	// the persistent store instead of simulated, results written through,
+	// and non-fatal store failures (a failed read recomputes, a failed
+	// write loses only amortization — determinism keeps both safe).
+	StoreHits uint64
+	StorePuts uint64
+	StoreErrs uint64
 }
 
 // Publish writes the session's work counters into reg under the
 // "session." namespace — the registry form of the old ad-hoc "session:"
-// stderr lines, printed uniformly by the CLIs via Registry.WriteText.
+// stderr lines, printed uniformly by the CLIs via Registry.WriteText. The
+// counters are cumulative, so publication binds absolute values (Set) and
+// is idempotent: end-of-run CLIs publish once, the serving layer's metrics
+// endpoint republishes on every scrape.
 func (st SessionStats) Publish(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.Add("session.builds", st.Builds)
-	reg.Add("session.forks", st.Forks)
-	reg.Add("session.probe_runs", st.ProbeRuns)
-	reg.Add("session.demand_hits", st.DemandHits)
-	reg.Add("session.solve_hits", st.SolveHits)
-	reg.Add("session.early_aborts", st.EarlyAborts)
-	reg.Add("session.warm_measures", st.WarmMeasures)
-	reg.Add("session.ff_leaps", st.FFLeaps)
-	reg.Add("session.ff_skipped_cycles", st.FFSkippedCycles)
-	reg.Add("session.spin_leaps", st.SpinLeaps)
-	reg.Add("session.spin_skipped_cycles", st.SpinSkippedCycles)
-	reg.Add("session.block_runs", st.BlockRuns)
-	reg.Add("session.block_cycles", st.BlockCycles)
+	reg.Set("session.builds", st.Builds)
+	reg.Set("session.forks", st.Forks)
+	reg.Set("session.probe_runs", st.ProbeRuns)
+	reg.Set("session.demand_hits", st.DemandHits)
+	reg.Set("session.solve_hits", st.SolveHits)
+	reg.Set("session.early_aborts", st.EarlyAborts)
+	reg.Set("session.warm_measures", st.WarmMeasures)
+	reg.Set("session.ff_leaps", st.FFLeaps)
+	reg.Set("session.ff_skipped_cycles", st.FFSkippedCycles)
+	reg.Set("session.spin_leaps", st.SpinLeaps)
+	reg.Set("session.spin_skipped_cycles", st.SpinSkippedCycles)
+	reg.Set("session.block_runs", st.BlockRuns)
+	reg.Set("session.block_cycles", st.BlockCycles)
+	reg.Set("session.store_hits", st.StoreHits)
+	reg.Set("session.store_puts", st.StorePuts)
+	reg.Set("session.store_errs", st.StoreErrs)
 }
 
 // NewSession returns an empty session calibrated by params (nil selects
-// power.DefaultParams()).
+// power.DefaultParams()). The template cache starts unbounded, matching the
+// one-shot CLI shape; long-running owners bound it with SetTemplateCap.
 func NewSession(params *power.Params) *Session {
 	if params == nil {
 		params = power.DefaultParams()
@@ -120,7 +137,7 @@ func NewSession(params *power.Params) *Session {
 		params:    params,
 		cache:     signal.NewCache(),
 		variants:  map[variantKey]*variantEntry{},
-		templates: map[templateKey]*templateEntry{},
+		templates: lru.New[templateKey, *templateEntry](0, nil),
 		demands:   map[string]*demandEntry{},
 		solved:    map[string]*solveEntry{},
 		warm:      map[warmKey]*platform.Snapshot{},
@@ -130,6 +147,48 @@ func NewSession(params *power.Params) *Session {
 // Cache returns the session's signal cache, shared so callers (the sweep
 // engine, the CLIs) key their own synthesis through the same memoization.
 func (s *Session) Cache() *signal.Cache { return s.cache }
+
+// SetTemplateCap bounds the pristine-platform template cache to at most n
+// entries, evicting least-recently-used templates (n <= 0 restores the
+// unbounded default). Templates are megabytes each and purely memoized — an
+// evicted one is rebuilt on next use with bit-identical results — so the cap
+// trades wall-clock amortization for a flat memory ceiling, which is what a
+// long-running server wants under workload diversity. Existing entries are
+// dropped; in-flight users of their platforms are unaffected (entries are
+// reference-held, the cache only forgets them).
+func (s *Session) SetTemplateCap(n int) {
+	s.mu.Lock()
+	s.templates = lru.New[templateKey, *templateEntry](n, nil)
+	s.mu.Unlock()
+}
+
+// TemplateCacheStats returns the template cache's cumulative hit, miss and
+// eviction counts (reset by SetTemplateCap).
+func (s *Session) TemplateCacheStats() (hits, misses, evictions uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.templates.Stats()
+}
+
+// PublishMetrics publishes everything the session can report into reg: the
+// work counters (SessionStats.Publish) plus the signal-cache and
+// template-cache hit/miss/eviction counters. Idempotent (absolute values),
+// so both the end-of-run CLIs and the serving layer's per-scrape metrics
+// endpoint call it freely.
+func (s *Session) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.Stats().Publish(reg)
+	req, syn := s.cache.Stats()
+	reg.Set("signal.cache.requests", req)
+	reg.Set("signal.cache.synths", syn)
+	reg.Set("signal.cache.hits", req-syn)
+	th, tm, te := s.TemplateCacheStats()
+	reg.Set("session.template.hits", th)
+	reg.Set("session.template.misses", tm)
+	reg.Set("session.template.evictions", te)
+}
 
 // SetParams replaces the power calibration used by subsequent measurements
 // (solved operating points are frequency/voltage searches and do not depend
@@ -255,6 +314,14 @@ type warmKey struct {
 	Exact         bool
 }
 
+// warmKeyString serializes the warm-snapshot identity for the backing
+// store, in the same style as the solve and demand key strings: everything
+// the probe-boundary platform state depends on.
+func warmKeyString(k warmKey) string {
+	return fmt.Sprintf("warm|%s|%s|sig=%+v|freq=%v|volt=%v|dur=%v|exact=%v",
+		k.VK.App, k.VK.Arch.Key(), k.Sig, k.FreqHz, k.VoltageV, k.ProbeDuration, k.Exact)
+}
+
 // variant returns the built (assembled, linked) application image for
 // (app, arch), building it at most once per session.
 func (s *Session) variant(app string, arch power.Arch) (*apps.Variant, error) {
@@ -285,10 +352,10 @@ func (s *Session) template(app string, arch power.Arch, src *signal.Source) (*pl
 	}
 	k := templateKey{VK: variantKey{App: app, Arch: arch}, Src: keyOf(src)}
 	s.mu.Lock()
-	e, ok := s.templates[k]
+	e, ok := s.templates.Get(k)
 	if !ok {
 		e = &templateEntry{}
-		s.templates[k] = e
+		s.templates.Put(k, e)
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
@@ -382,8 +449,20 @@ func (s *Session) SolveOperatingPoint(ctx context.Context, app string, arch powe
 	ran := false
 	e.once.Do(func() {
 		ran = true
+		// The backing store is consulted inside the single-flight slot, so
+		// concurrent identical solves share one store read too, and a hit
+		// is indistinguishable from having solved it in this process
+		// (results are deterministic, keys pin the full identity).
+		if op, ok := s.storeGetSolve(key); ok {
+			e.op = op
+			e.done.Store(true)
+			return
+		}
 		e.op, e.err = s.solve(ctx, app, arch, sig, probeSig, opts)
 		e.done.Store(true)
+		if e.err == nil {
+			s.storePutSolve(key, e.op)
+		}
 	})
 	if !ran {
 		s.count(func(st *SessionStats) { st.SolveHits++ })
@@ -417,8 +496,16 @@ func (s *Session) demand(ctx context.Context, app string, demandArch power.Arch,
 	ran := false
 	e.once.Do(func() {
 		ran = true
+		if d, ok := s.storeGetDemand(key); ok {
+			e.demand = d
+			e.done.Store(true)
+			return
+		}
 		e.demand, e.err = s.runProbe(ctx, app, demandArch, probeSig, baseRateHz, opts)
 		e.done.Store(true)
+		if e.err == nil {
+			s.storePutDemand(key, e.demand)
+		}
 	})
 	if !ran {
 		s.count(func(st *SessionStats) { st.DemandHits++ })
@@ -561,16 +648,23 @@ func (s *Session) solve(ctx context.Context, app string, arch power.Arch, sig, p
 		// variant's returned point is bumped below the verified frequency,
 		// so its snapshot could never be looked up — don't retain it.
 		if !arch.BusyWait {
-			s.mu.Lock()
-			s.warm[warmKey{
+			wk := warmKey{
 				VK:            variantKey{App: app, Arch: arch},
 				Sig:           keyOf(sig),
 				FreqHz:        freq,
 				VoltageV:      op.VoltageV,
 				ProbeDuration: opts.ProbeDuration,
 				Exact:         opts.Exact,
-			}] = pp.Snapshot()
+			}
+			snap := pp.Snapshot()
+			s.mu.Lock()
+			s.warm[wk] = snap
 			s.mu.Unlock()
+			// Write the verified platform state through to the backing
+			// store: a future process's Measure at this point warm-starts
+			// instead of re-simulating the probe window (bit-identical, as
+			// continuation equals never having stopped).
+			s.storePutWarm(warmKeyString(wk), snap)
 		}
 		if arch.BusyWait {
 			// Divergence-induced deadline misses are bursty: a point that
@@ -657,6 +751,12 @@ func (s *Session) Measure(ctx context.Context, app string, arch power.Arch, op O
 	s.mu.Lock()
 	snap := s.warm[wk]
 	s.mu.Unlock()
+	if snap == nil {
+		// The probe-boundary snapshot may have been produced by an earlier
+		// process: the backing store persists warm state across restarts,
+		// so a recalled solve still warm-starts its measurement.
+		snap = s.storeGetWarm(warmKeyString(wk))
+	}
 
 	var p *platform.Platform
 	if snap != nil && opts.Duration >= opts.ProbeDuration {

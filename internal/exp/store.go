@@ -1,0 +1,133 @@
+package exp
+
+import "repro/internal/platform"
+
+// PointStore is the persistence interface extracted from the session's
+// checkpoint layer: a durable, concurrency-safe backing for the three result
+// classes a session memoizes — solved operating points, probe demand
+// estimates, and the probe-boundary warm snapshots that let a measurement
+// continue its solve's verified run. The single-file SaveCheckpoint /
+// LoadCheckpoint pair persists the first two in bulk at end of run; a
+// PointStore persists all three incrementally, as they are produced, so a
+// long-running server (internal/serve/store is the content-addressed
+// implementation) survives process death without losing work.
+//
+// Keys are the session's canonical identity strings (the same strings the
+// checkpoint file uses), pinning everything the result depends on.
+// Implementations must be safe for concurrent use; Get methods return
+// ok=false for absent entries and reserve the error for I/O or corruption.
+//
+// Store failures are deliberately non-fatal to the session: a failed Get is
+// a miss (the result is recomputed — determinism makes that safe), a failed
+// Put loses only amortization. Both are counted in SessionStats.StoreErrs so
+// operators can see a sick store.
+type PointStore interface {
+	GetSolve(key string) (OperatingPoint, bool, error)
+	PutSolve(key string, op OperatingPoint) error
+	GetDemand(key string) (demand float64, ok bool, err error)
+	PutDemand(key string, demand float64) error
+	GetWarm(key string) (*platform.Snapshot, bool, error)
+	PutWarm(key string, snap *platform.Snapshot) error
+}
+
+// SetStore installs the backing store consulted on memory misses and
+// written through on every computed result. Install it before the session
+// starts solving; results computed earlier are not retroactively persisted.
+func (s *Session) SetStore(st PointStore) {
+	s.mu.Lock()
+	s.store = st
+	s.mu.Unlock()
+}
+
+func (s *Session) pointStore() PointStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
+}
+
+// storeGetSolve consults the backing store for a solved point. Errors count
+// as misses (and into StoreErrs): determinism makes recomputing safe.
+func (s *Session) storeGetSolve(key string) (OperatingPoint, bool) {
+	st := s.pointStore()
+	if st == nil {
+		return OperatingPoint{}, false
+	}
+	op, ok, err := st.GetSolve(key)
+	if err != nil {
+		s.count(func(x *SessionStats) { x.StoreErrs++ })
+		return OperatingPoint{}, false
+	}
+	if ok {
+		s.count(func(x *SessionStats) { x.StoreHits++ })
+	}
+	return op, ok
+}
+
+func (s *Session) storePutSolve(key string, op OperatingPoint) {
+	st := s.pointStore()
+	if st == nil {
+		return
+	}
+	if err := st.PutSolve(key, op); err != nil {
+		s.count(func(x *SessionStats) { x.StoreErrs++ })
+		return
+	}
+	s.count(func(x *SessionStats) { x.StorePuts++ })
+}
+
+func (s *Session) storeGetDemand(key string) (float64, bool) {
+	st := s.pointStore()
+	if st == nil {
+		return 0, false
+	}
+	d, ok, err := st.GetDemand(key)
+	if err != nil {
+		s.count(func(x *SessionStats) { x.StoreErrs++ })
+		return 0, false
+	}
+	if ok {
+		s.count(func(x *SessionStats) { x.StoreHits++ })
+	}
+	return d, ok
+}
+
+func (s *Session) storePutDemand(key string, demand float64) {
+	st := s.pointStore()
+	if st == nil {
+		return
+	}
+	if err := st.PutDemand(key, demand); err != nil {
+		s.count(func(x *SessionStats) { x.StoreErrs++ })
+		return
+	}
+	s.count(func(x *SessionStats) { x.StorePuts++ })
+}
+
+func (s *Session) storeGetWarm(key string) *platform.Snapshot {
+	st := s.pointStore()
+	if st == nil {
+		return nil
+	}
+	snap, ok, err := st.GetWarm(key)
+	if err != nil {
+		s.count(func(x *SessionStats) { x.StoreErrs++ })
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	s.count(func(x *SessionStats) { x.StoreHits++ })
+	return snap
+}
+
+func (s *Session) storePutWarm(key string, snap *platform.Snapshot) {
+	st := s.pointStore()
+	if st == nil {
+		return
+	}
+	if err := st.PutWarm(key, snap); err != nil {
+		s.count(func(x *SessionStats) { x.StoreErrs++ })
+		return
+	}
+	s.count(func(x *SessionStats) { x.StorePuts++ })
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/power"
+)
+
+// faultyStore fails every operation: the session must treat that as cache
+// misses plus an error count, never as a fatal condition.
+type faultyStore struct{}
+
+var errSick = errors.New("disk on fire")
+
+func (faultyStore) GetSolve(string) (OperatingPoint, bool, error) {
+	return OperatingPoint{}, false, errSick
+}
+func (faultyStore) PutSolve(string, OperatingPoint) error   { return errSick }
+func (faultyStore) GetDemand(string) (float64, bool, error) { return 0, false, errSick }
+func (faultyStore) PutDemand(string, float64) error         { return errSick }
+func (faultyStore) GetWarm(string) (*platform.Snapshot, bool, error) {
+	return nil, false, errSick
+}
+func (faultyStore) PutWarm(string, *platform.Snapshot) error { return errSick }
+
+func TestStoreFailuresAreMissesNotFatal(t *testing.T) {
+	s := NewSession(power.DefaultParams())
+	s.SetStore(faultyStore{})
+
+	if _, ok := s.storeGetSolve("k"); ok {
+		t.Fatal("failed GetSolve reported a hit")
+	}
+	s.storePutSolve("k", OperatingPoint{FreqHz: 1e6, VoltageV: 0.5})
+	if _, ok := s.storeGetDemand("k"); ok {
+		t.Fatal("failed GetDemand reported a hit")
+	}
+	s.storePutDemand("k", 1.0)
+	if snap := s.storeGetWarm("k"); snap != nil {
+		t.Fatal("failed GetWarm returned a snapshot")
+	}
+	s.storePutWarm("k", nil)
+
+	st := s.Stats()
+	if st.StoreErrs != 6 {
+		t.Fatalf("StoreErrs = %d, want 6 (every operation failed)", st.StoreErrs)
+	}
+	if st.StoreHits != 0 || st.StorePuts != 0 {
+		t.Fatalf("sick store produced hits=%d puts=%d, want 0/0", st.StoreHits, st.StorePuts)
+	}
+}
+
+func TestNoStoreIsSilent(t *testing.T) {
+	s := NewSession(power.DefaultParams())
+	if _, ok := s.storeGetSolve("k"); ok {
+		t.Fatal("storeless session reported a hit")
+	}
+	s.storePutSolve("k", OperatingPoint{})
+	if st := s.Stats(); st.StoreErrs != 0 || st.StoreHits != 0 || st.StorePuts != 0 {
+		t.Fatalf("storeless session counted store traffic: %+v", st)
+	}
+}

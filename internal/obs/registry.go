@@ -59,6 +59,16 @@ func (r *Registry) Add(name string, n uint64) {
 	r.mu.Unlock()
 }
 
+// Set binds counter name to the absolute value v. End-of-run publishers use
+// Add into a fresh registry; long-lived publishers (the serving layer's
+// metrics endpoint re-exports cumulative session statistics on every scrape)
+// use Set so repeated publication is idempotent.
+func (r *Registry) Set(name string, v uint64) {
+	r.mu.Lock()
+	r.counters[name] = v
+	r.mu.Unlock()
+}
+
 // Observe records one sample into histogram name.
 func (r *Registry) Observe(name string, v uint64) {
 	r.mu.Lock()

@@ -1,0 +1,103 @@
+// Package lru provides the bounded most-recently-used cache the serving
+// layer (and the experiment session behind it) uses to keep memory flat
+// under workload diversity: pristine platform templates are megabytes each,
+// and a long-running server must amortize their construction without
+// accumulating one per (scenario, app, arch) combination it ever saw.
+//
+// The cache is a plain container, not a synchronization point: it is NOT
+// safe for concurrent use on its own. Owners guard it with their existing
+// mutex (exp.Session holds entries under the session lock), which keeps the
+// single-flight once-per-entry pattern owners layer on top race-free.
+package lru
+
+// Cache is a bounded map with least-recently-used eviction. A capacity of
+// zero or less means unbounded (degenerating to a plain map, no eviction).
+type Cache[K comparable, V any] struct {
+	capacity int
+	onEvict  func(K, V)
+	entries  map[K]*node[K, V]
+	// head.next is the most recently used node, tail.prev the least.
+	head, tail *node[K, V]
+
+	hits, misses, evictions uint64
+}
+
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *node[K, V]
+}
+
+// New returns an empty cache holding at most capacity entries (<= 0 means
+// unbounded). onEvict, when non-nil, is called for every evicted entry —
+// synchronously, under whatever lock the caller holds around Put.
+func New[K comparable, V any](capacity int, onEvict func(K, V)) *Cache[K, V] {
+	c := &Cache[K, V]{
+		capacity: capacity,
+		onEvict:  onEvict,
+		entries:  map[K]*node[K, V]{},
+		head:     &node[K, V]{},
+		tail:     &node[K, V]{},
+	}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c
+}
+
+// Get returns the value bound to k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	n, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.unlink(n)
+	c.pushFront(n)
+	return n.val, true
+}
+
+// Put binds k to v, marking it most recently used and evicting the least
+// recently used entry if the capacity is exceeded. Rebinding an existing key
+// replaces its value without eviction side effects on other entries.
+func (c *Cache[K, V]) Put(k K, v V) {
+	if n, ok := c.entries[k]; ok {
+		n.val = v
+		c.unlink(n)
+		c.pushFront(n)
+		return
+	}
+	n := &node[K, V]{key: k, val: v}
+	c.entries[k] = n
+	c.pushFront(n)
+	if c.capacity > 0 && len(c.entries) > c.capacity {
+		lru := c.tail.prev
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(lru.key, lru.val)
+		}
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache[K, V]) Len() int { return len(c.entries) }
+
+// Stats returns the cumulative hit, miss and eviction counts.
+func (c *Cache[K, V]) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
+
+func (c *Cache[K, V]) unlink(n *node[K, V]) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (c *Cache[K, V]) pushFront(n *node[K, V]) {
+	n.prev = c.head
+	n.next = c.head.next
+	c.head.next.prev = n
+	c.head.next = n
+}

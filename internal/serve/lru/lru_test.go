@@ -1,0 +1,51 @@
+package lru
+
+import "testing"
+
+func TestEvictionOrder(t *testing.T) {
+	var evicted []string
+	c := New[string, int](2, func(k string, v int) { evicted = append(evicted, k) })
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // a becomes MRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b, the LRU
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d/%v, want 1/true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	hits, misses, evictions := c.Stats()
+	// Gets: a(hit), b(miss), a(hit); the failed Get("a") cannot happen.
+	if hits != 2 || misses != 1 || evictions != 1 {
+		t.Fatalf("stats %d/%d/%d, want 2/1/1", hits, misses, evictions)
+	}
+}
+
+func TestRebindDoesNotEvict(t *testing.T) {
+	c := New[string, int](2, func(k string, v int) { t.Fatalf("evicted %s", k) })
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a = %d, want 10", v)
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New[int, int](0, func(k, v int) { t.Fatalf("evicted %d", k) })
+	for i := 0; i < 1000; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("len %d, want 1000", c.Len())
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/serve/wire"
+)
+
+// marshalBody renders a response struct as the canonical body bytes:
+// indented JSON with a trailing newline, byte-stable for identical
+// contents (struct field order is fixed; no maps are marshaled).
+func marshalBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("serve: encoding response: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Handler returns the engine's HTTP API:
+//
+//	POST /v1/solve    one cell's operating point
+//	POST /v1/measure  one cell solved and measured (power report row)
+//	POST /v1/sweep    a whole (apps x archs) grid
+//	GET  /v1/healthz  liveness + loaded scenarios
+//	GET  /v1/metrics  metrics registry (JSON; ?format=text for stats lines)
+//
+// Request bodies are strict JSON (unknown fields rejected — a typoed knob
+// must not silently fall back). Solve/measure/sweep bodies are
+// deterministic: byte-identical for identical requests at any concurrency.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		e.reg.Add("serve.requests.solve", 1)
+		handleBody(e, w, r, func(req wireSolve) ([]byte, bool, error) { return e.Solve(req) })
+	})
+	mux.HandleFunc("/v1/measure", func(w http.ResponseWriter, r *http.Request) {
+		e.reg.Add("serve.requests.measure", 1)
+		handleBody(e, w, r, func(req wireSolve) ([]byte, bool, error) { return e.Measure(req) })
+	})
+	mux.HandleFunc("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		e.reg.Add("serve.requests.sweep", 1)
+		handleBody(e, w, r, func(req wireSweep) ([]byte, bool, error) { return e.Sweep(req) })
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		e.reg.Add("serve.requests.healthz", 1)
+		body, err := marshalBody(struct {
+			Status    string   `json:"status"`
+			Scenarios []string `json:"scenarios"`
+			Store     bool     `json:"store"`
+		}{Status: "ok", Scenarios: e.Scenarios(), Store: e.store != nil})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		e.reg.Add("serve.requests.metrics", 1)
+		reg := e.PublishMetrics()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := reg.WriteText(w, "stats "); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+	})
+	return mux
+}
+
+// wireSolve and wireSweep keep the generic handler readable.
+type (
+	wireSolve = wire.SolveRequest
+	wireSweep = wire.SweepRequest
+)
+
+// handleBody decodes a strict-JSON POST body, runs the endpoint and writes
+// the deterministic response bytes. Resolution failures are the client's
+// (400); simulation failures are reported as 422 (the request was
+// well-formed, the configured cell cannot meet real time or faulted).
+func handleBody[Req any](e *Engine, w http.ResponseWriter, r *http.Request, run func(Req) ([]byte, bool, error)) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with a JSON body"))
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Req
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	body, shared, err := run(req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if body == nil && isResolveError(err) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	if shared {
+		// Advisory only (headers are not part of the determinism
+		// contract, bodies are): this response rode another request's
+		// simulation.
+		w.Header().Set("X-Coalesced", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// resolveError marks request-resolution failures so the HTTP layer can
+// classify them as 400s without string matching.
+type resolveError struct{ err error }
+
+func (e *resolveError) Error() string { return e.err.Error() }
+func (e *resolveError) Unwrap() error { return e.err }
+
+func isResolveError(err error) bool {
+	_, ok := err.(*resolveError)
+	return ok
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}

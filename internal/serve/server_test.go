@@ -1,0 +1,137 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newEngine(t, serve.Config{Jobs: 1}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		name, path, body string
+		status           int
+		want             string
+	}{
+		{"unknown field", "/v1/solve", `{"app":"3l-mf","arch":"sc","probe_seconds":1}`, http.StatusBadRequest, "unknown field"},
+		{"malformed json", "/v1/solve", `{"app":`, http.StatusBadRequest, "decoding request"},
+		{"unknown scenario", "/v1/solve", `{"scenario":"nope","app":"3l-mf","arch":"sc"}`, http.StatusBadRequest, "unknown scenario"},
+		{"unknown app", "/v1/measure", `{"app":"4l-mf","arch":"sc"}`, http.StatusBadRequest, "unknown app"},
+		{"bad arch", "/v1/solve", `{"app":"3l-mf","arch":"quad"}`, http.StatusBadRequest, ""},
+		{"sweep unknown app", "/v1/sweep", `{"apps":["bogus"]}`, http.StatusBadRequest, "unknown app"},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, srv, tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q is not an ErrorResponse (%v)", tc.name, body, err)
+			continue
+		}
+		if !strings.Contains(e.Error, tc.want) {
+			t.Errorf("%s: error %q lacks %q", tc.name, e.Error, tc.want)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthzListsScenarios(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status    string   `json:"status"`
+		Scenarios []string `json:"scenarios"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+	found := false
+	for _, n := range h.Scenarios {
+		found = found || n == "ecg-default"
+	}
+	if !found {
+		t.Fatalf("healthz scenarios %v lack ecg-default", h.Scenarios)
+	}
+}
+
+func TestMetricsEndpointFormats(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.Counters["serve.coalesce.started"]; !ok {
+		t.Fatalf("metrics JSON lacks serve.coalesce.started: %v", doc.Counters)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, err = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stats serve.requests.metrics") {
+		t.Fatalf("text metrics lack the stats prefix lines:\n%s", buf.String())
+	}
+}

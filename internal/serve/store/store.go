@@ -1,0 +1,250 @@
+// Package store implements the serving layer's content-addressed result
+// store: the persistent form of everything an exp.Session memoizes, keyed
+// by the SHA-256 of the session's canonical identity strings. It replaces
+// the single bulk -checkpoint file with one small file per result, written
+// atomically as results are produced, so a server killed mid-grid loses
+// only in-flight work — and, unlike the checkpoint file, it also persists
+// the probe-boundary warm snapshots, so measurements warm-start across
+// process death.
+//
+// # Layout
+//
+// Under the root directory:
+//
+//	solve/<sha256(key)>.json   solved operating point + its full key
+//	demand/<sha256(key)>.json  probe demand estimate + its full key
+//	warm/<sha256(key)>.snap    platform snapshot file (versioned gob,
+//	                           platform.WriteSnapshotFile) with the key in
+//	                           its metadata
+//
+// Every entry records the full canonical key it was stored under and reads
+// verify it, so a hash collision or a misplaced file surfaces as a
+// corruption error instead of a silently wrong result. JSON stores float64
+// via Go's shortest round-trip formatting, so operating points and demands
+// survive the trip bit-exactly.
+//
+// All methods are safe for concurrent use; writes go through a temp file
+// and rename, so readers (including concurrent processes) never observe a
+// partial entry.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/exp"
+	"repro/internal/platform"
+)
+
+// Store is a content-addressed PointStore rooted at a directory.
+type Store struct {
+	dir string
+
+	hits, misses, puts atomic.Uint64
+}
+
+// Compile-time check: the store is the session's persistence backend.
+var _ exp.PointStore = (*Store)(nil)
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"solve", "demand", "warm"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the cumulative hit, miss and put counts across all entry
+// classes.
+func (s *Store) Stats() (hits, misses, puts uint64) {
+	return s.hits.Load(), s.misses.Load(), s.puts.Load()
+}
+
+// path returns the content address of key within class: the hex SHA-256 of
+// the canonical key string.
+func (s *Store) path(class, key, ext string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, class, hex.EncodeToString(sum[:])+ext)
+}
+
+// solveEntry is the on-disk shape of a solved operating point. Key carries
+// the full canonical identity for read-back verification and debuggability
+// (the filename is only its hash).
+type solveEntry struct {
+	Key      string  `json:"key"`
+	FreqHz   float64 `json:"freq_hz"`
+	VoltageV float64 `json:"voltage_v"`
+}
+
+// demandEntry is the on-disk shape of a probe demand estimate.
+type demandEntry struct {
+	Key      string  `json:"key"`
+	DemandHz float64 `json:"demand_hz"`
+}
+
+// readJSON loads one JSON entry, distinguishing absence (ok=false, nil
+// error) from damage (error).
+func (s *Store) readJSON(path, key string, v any, gotKey func() string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.misses.Add(1)
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("store: corrupt entry %s: %w", path, err)
+	}
+	if got := gotKey(); got != key {
+		return false, fmt.Errorf("store: entry %s was stored under a different key (hash collision or misplaced file):\n  stored: %s\n  wanted: %s", path, got, key)
+	}
+	s.hits.Add(1)
+	return true, nil
+}
+
+// writeJSON atomically persists one JSON entry.
+func (s *Store) writeJSON(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeAtomic(path, data); err != nil {
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// GetSolve returns the solved operating point stored under key, if any.
+func (s *Store) GetSolve(key string) (exp.OperatingPoint, bool, error) {
+	var e solveEntry
+	ok, err := s.readJSON(s.path("solve", key, ".json"), key, &e, func() string { return e.Key })
+	if !ok || err != nil {
+		return exp.OperatingPoint{}, false, err
+	}
+	return exp.OperatingPoint{FreqHz: e.FreqHz, VoltageV: e.VoltageV}, true, nil
+}
+
+// PutSolve persists a solved operating point under key.
+func (s *Store) PutSolve(key string, op exp.OperatingPoint) error {
+	return s.writeJSON(s.path("solve", key, ".json"), solveEntry{Key: key, FreqHz: op.FreqHz, VoltageV: op.VoltageV})
+}
+
+// GetDemand returns the probe demand estimate stored under key, if any.
+func (s *Store) GetDemand(key string) (float64, bool, error) {
+	var e demandEntry
+	ok, err := s.readJSON(s.path("demand", key, ".json"), key, &e, func() string { return e.Key })
+	if !ok || err != nil {
+		return 0, false, err
+	}
+	return e.DemandHz, true, nil
+}
+
+// PutDemand persists a probe demand estimate under key.
+func (s *Store) PutDemand(key string, demand float64) error {
+	return s.writeJSON(s.path("demand", key, ".json"), demandEntry{Key: key, DemandHz: demand})
+}
+
+// GetWarm returns the probe-boundary warm snapshot stored under key, if
+// any. The snapshot file's own magic/version framing rejects foreign or
+// incompatible files; the key recorded in its metadata is verified here.
+func (s *Store) GetWarm(key string) (*platform.Snapshot, bool, error) {
+	path := s.path("warm", key, ".snap")
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	file, err := platform.ReadSnapshotFile(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: corrupt entry %s: %w", path, err)
+	}
+	if got := file.Meta["key"]; got != key {
+		return nil, false, fmt.Errorf("store: entry %s was stored under a different key (hash collision or misplaced file):\n  stored: %s\n  wanted: %s", path, got, key)
+	}
+	s.hits.Add(1)
+	return file.Snap, true, nil
+}
+
+// PutWarm persists a probe-boundary warm snapshot under key.
+func (s *Store) PutWarm(key string, snap *platform.Snapshot) error {
+	path := s.path("warm", key, ".snap")
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := platform.WriteSnapshotFile(tmp, &platform.SnapshotFile{Meta: map[string]string{"key": key}, Snap: snap}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Len counts the persisted entries per class, for startup logging.
+func (s *Store) Len() (solves, demands, warms int, err error) {
+	count := func(class string) (int, error) {
+		entries, err := os.ReadDir(filepath.Join(s.dir, class))
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		n := 0
+		for _, e := range entries {
+			if !e.IsDir() {
+				n++
+			}
+		}
+		return n, nil
+	}
+	if solves, err = count("solve"); err != nil {
+		return
+	}
+	if demands, err = count("demand"); err != nil {
+		return
+	}
+	warms, err = count("warm")
+	return
+}
+
+// writeAtomic writes data to path via a temp file and rename.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

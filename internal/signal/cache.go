@@ -12,9 +12,10 @@ import (
 // record is bit-identical to a fresh one. Callers must treat returned
 // sources as immutable — they are shared.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
-	synths  atomic.Int64
+	mu       sync.Mutex
+	entries  map[cacheKey]*cacheEntry
+	requests atomic.Int64
+	synths   atomic.Int64
 }
 
 type cacheKey struct {
@@ -43,6 +44,7 @@ func (c *Cache) Synthesize(cfg Config, duration float64) (*Source, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.requests.Add(1)
 	key := cacheKey{cfg: norm, durS: duration}
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -61,3 +63,11 @@ func (c *Cache) Synthesize(cfg Config, duration float64) (*Source, error) {
 // Synths returns how many records were actually synthesized (cache misses);
 // the gap to the request count is work the memoization saved.
 func (c *Cache) Synths() int { return int(c.synths.Load()) }
+
+// Stats returns the cumulative request and synthesis counts; requests minus
+// synths is the number of hits the memoization served. Both surface through
+// the obs registry (the CLIs' "stats" stderr block and the serving layer's
+// /v1/metrics endpoint).
+func (c *Cache) Stats() (requests, synths uint64) {
+	return uint64(c.requests.Load()), uint64(c.synths.Load())
+}
