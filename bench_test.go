@@ -432,6 +432,78 @@ func BenchmarkBlockEngine(b *testing.B) {
 	}
 }
 
+// blockKernelMCImage is the four-core lock-step variant of the compute
+// kernel: the same unrolled ALU body on every core with the per-iteration
+// store routed through the private data window, so the ATU spreads the four
+// cores across distinct DM banks and every cycle stays conflict-free — the
+// regime the multi-core stride engine is built for.
+func blockKernelMCImage() *platform.Image {
+	enc := func(op isa.Opcode, rd, rs1, rs2 uint8, imm int32) isa.Word {
+		return isa.MustEncode(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm})
+	}
+	w := []isa.Word{
+		enc(isa.OpLUI, 4, 0, 0, 19), // r4 = 1216: private data pointer
+		enc(isa.OpADDI, 1, 0, 0, 1),
+	}
+	loop := int32(len(w))
+	for i := 0; i < 10; i++ {
+		w = append(w,
+			enc(isa.OpADD, 2, 1, 1, 0),
+			enc(isa.OpXOR, 3, 2, 1, 0),
+			enc(isa.OpADDI, 1, 1, 0, 1),
+			enc(isa.OpSRLI, 2, 3, 0, 1),
+		)
+	}
+	w = append(w, enc(isa.OpSW, 0, 4, 3, 0))
+	w = append(w, enc(isa.OpJAL, 0, 0, 0, loop-int32(len(w))-1))
+	return &platform.Image{
+		Code:        []platform.CodeSeg{{Base: 0, Words: w}},
+		Entries:     []int{0, 0, 0, 0},
+		SharedLimit: 1024,
+		Shared:      []platform.DataSeg{{Base: 256, Words: make([]uint16, 4)}},
+	}
+}
+
+// BenchmarkMultiCoreBlockEngine pits the exact cycle-by-cycle engine against
+// the multi-core lock-step stride engine on a compute-bound four-core kernel
+// — the multi-core analogue of BenchmarkBlockEngine, where Step additionally
+// pays per-cycle crossbar arbitration and synchronizer commits for every
+// core. Both modes produce bit-identical results (the block-engine
+// differential suites and the randomized cross-engine fuzzer in
+// internal/platform); only wall-clock differs. The data point recorded in
+// BENCH_engine.json tracks this speedup across commits.
+func BenchmarkMultiCoreBlockEngine(b *testing.B) {
+	const cycles = 2_000_000
+	run := func(b *testing.B, exact bool) float64 {
+		b.Helper()
+		total := uint64(0)
+		for i := 0; i < b.N; i++ {
+			p, err := platform.New(platform.Config{
+				Arch: power.MC, ClockHz: 1e6, VoltageV: 0.5, Exact: exact,
+			}, blockKernelMCImage())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Run(cycles); err != nil {
+				b.Fatal(err)
+			}
+			total += p.Cycle()
+			if !exact && p.BlockMCCycles() == 0 {
+				b.Fatal("multi-core stride engine never engaged on the lock-step kernel")
+			}
+		}
+		rate := float64(total) / b.Elapsed().Seconds()
+		b.ReportMetric(rate, "cycles/s")
+		return rate
+	}
+	var exactRate, strideRate float64
+	b.Run("exact", func(b *testing.B) { exactRate = run(b, true) })
+	b.Run("mcstride", func(b *testing.B) { strideRate = run(b, false) })
+	if exactRate > 0 && strideRate > 0 {
+		b.Logf("multi-core stride speedup: %.1fx", strideRate/exactRate)
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed: platform
 // cycles per wall second for the 8-core-class configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -83,11 +83,14 @@ type SessionStats struct {
 	SpinSkippedCycles uint64
 
 	// Basic-block engine work: fast-path engagements and the cycles they
-	// executed with bulk accounting instead of Step's per-cycle dispatch.
+	// executed with bulk accounting instead of Step's per-cycle dispatch,
+	// split into single-core block runs and multi-core lock-step strides.
 	// The same wall-clock-diagnostic caveats apply, with one difference:
 	// block cycles were fully simulated, not skipped.
-	BlockRuns   uint64
-	BlockCycles uint64
+	BlockRuns      uint64
+	BlockCycles    uint64
+	BlockMCStrides uint64
+	BlockMCCycles  uint64
 
 	// Backing-store traffic (zero without a SetStore): results served from
 	// the persistent store instead of simulated, results written through,
@@ -121,6 +124,8 @@ func (st SessionStats) Publish(reg *obs.Registry) {
 	reg.Set("session.spin_skipped_cycles", st.SpinSkippedCycles)
 	reg.Set("session.block_runs", st.BlockRuns)
 	reg.Set("session.block_cycles", st.BlockCycles)
+	reg.Set("session.block_mc_strides", st.BlockMCStrides)
+	reg.Set("session.block_mc_cycles", st.BlockMCCycles)
 	reg.Set("session.store_hits", st.StoreHits)
 	reg.Set("session.store_puts", st.StorePuts)
 	reg.Set("session.store_errs", st.StoreErrs)
@@ -229,12 +234,14 @@ func (s *Session) count(f func(*SessionStats)) {
 type ffMark struct {
 	leaps, skipped, spinLeaps, spinSkipped uint64
 	blockRuns, blockCycles                 uint64
+	mcStrides, mcCycles                    uint64
 }
 
 func markFF(p *platform.Platform) ffMark {
 	return ffMark{
 		p.FFLeaps(), p.FFSkippedCycles(), p.SpinLeaps(), p.SpinSkippedCycles(),
 		p.BlockRuns(), p.BlockCycles(),
+		p.BlockMCStrides(), p.BlockMCCycles(),
 	}
 }
 
@@ -248,6 +255,8 @@ func (s *Session) recordFF(p *platform.Platform, m ffMark) {
 		st.SpinSkippedCycles += p.SpinSkippedCycles() - m.spinSkipped
 		st.BlockRuns += p.BlockRuns() - m.blockRuns
 		st.BlockCycles += p.BlockCycles() - m.blockCycles
+		st.BlockMCStrides += p.BlockMCStrides() - m.mcStrides
+		st.BlockMCCycles += p.BlockMCCycles() - m.mcCycles
 	})
 }
 

@@ -125,6 +125,43 @@ func (x *Crossbar) Arbitrate(reqs []Request) Result {
 	return res
 }
 
+// PlanConflictFree reports whether reqs — one cycle's request set — is
+// conflict-free: every request would be granted by Arbitrate at every
+// rotating-priority phase. That holds exactly when no bank sees an
+// incompatible pair — a write sharing a bank with anything, or two reads of
+// different offsets — because winner selection only matters to stalled
+// losers, and read merges grant all parties regardless of which rides the
+// broadcast (see PhasePeriod). On success it returns the number of bank
+// accesses the cycle performs post-merge (one per distinct bank); on failure
+// the access count is meaningless and at least one request would stall at
+// some (possibly every) phase.
+//
+// Unlike Arbitrate this is a pure predicate: it never mutates reqs or the
+// crossbar, so the platform's multi-core stride engine can prove a cycle
+// safe before committing any state. Request sets are tiny (at most one per
+// core), so the quadratic same-bank scan beats any map.
+func PlanConflictFree(reqs []Request) (accesses int, ok bool) {
+	for i := range reqs {
+		ri := &reqs[i]
+		first := true
+		for j := 0; j < i; j++ {
+			rj := &reqs[j]
+			if rj.Bank != ri.Bank {
+				continue
+			}
+			// Same-bank pair: only equal-offset reads coexist stall-free.
+			if ri.Write || rj.Write || rj.Offset != ri.Offset {
+				return 0, false
+			}
+			first = false
+		}
+		if first {
+			accesses++
+		}
+	}
+	return accesses, true
+}
+
 func (x *Crossbar) prio(core int) int {
 	// Rotating: the core equal to rr mod PhasePeriod has priority 0 this
 	// cycle.

@@ -44,7 +44,7 @@ func eventArgs(ev Event) map[string]any {
 	case KindSpinLeap:
 		return map[string]any{"period": ev.Arg1, "iterations": ev.Arg2}
 	case KindBlockStride:
-		return map[string]any{"instrs": ev.Arg1}
+		return map[string]any{"instrs": ev.Arg1, "cores": ev.Arg2}
 	case KindPhase:
 		return map[string]any{"cycles": ev.Dur}
 	default:

@@ -51,7 +51,9 @@ const (
 	// (Arg1 = loop period in cycles, Arg2 = iterations replayed).
 	KindSpinLeap
 	// KindBlockStride is one block-engine run spanning Dur cycles
-	// (Arg1 = instructions retired in the stride).
+	// (Arg1 = instructions retired in the stride, Arg2 = participating
+	// running cores: 1 for single-core block runs, ≥ 2 for multi-core
+	// lock-step strides).
 	KindBlockStride
 	// KindPhase is an operating-point session phase (probe, verify,
 	// measure) spanning Dur cycles of the forked platform's clock;

@@ -202,6 +202,105 @@ func blockKernelImage() *Image {
 	}
 }
 
+// blockKernelMCWords is the multi-core variant of the compute kernel: the
+// same unrolled ALU body on every core, but the per-iteration store goes
+// through the private window (the ATU spreads the cores across distinct DM
+// banks), so four lock-step cores stay conflict-free and the multi-core
+// stride engine carries essentially the whole run.
+func blockKernelMCWords() []isa.Word {
+	w := []isa.Word{
+		enc(isa.OpLUI, 4, 0, 0, 19), // r4 = 1216: private data pointer
+		enc(isa.OpADDI, 1, 0, 0, 1),
+	}
+	loop := int32(len(w))
+	for i := 0; i < 10; i++ {
+		w = append(w,
+			enc(isa.OpADD, 2, 1, 1, 0),
+			enc(isa.OpXOR, 3, 2, 1, 0),
+			enc(isa.OpADDI, 1, 1, 0, 1),
+			enc(isa.OpSRLI, 2, 3, 0, 1),
+		)
+	}
+	w = append(w, enc(isa.OpSW, 0, 4, 3, 0))
+	w = append(w, enc(isa.OpJAL, 0, 0, 0, loop-int32(len(w))-1))
+	return w
+}
+
+func blockKernelMCImage() *Image {
+	return &Image{
+		Code:        []CodeSeg{{Base: 0, Words: blockKernelMCWords()}},
+		Entries:     []int{0, 0, 0, 0},
+		SharedLimit: 1024,
+		Shared:      []DataSeg{{Base: 256, Words: make([]uint16, 4)}},
+	}
+}
+
+// TestBlockEngineSnapshotMidStrideMC is the multi-core mirror of
+// TestBlockEngineSnapshotMidBlock: the snapshot boundary falls inside a
+// four-core lock-step stride, and restore/fork/continue must all stay
+// bit-identical to an exact straight-through run. Stride back-off state and
+// engagement statistics are process state, so the restored platform reports
+// fresh diagnostics and re-engages on its own.
+func TestBlockEngineSnapshotMidStrideMC(t *testing.T) {
+	const total, first = 50_000, 12_345
+	cfg := mcCfg()
+
+	cfg.Exact = true
+	exact, err := New(cfg, blockKernelMCImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exact.Run(total); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Exact = false
+	fast, err := New(cfg, blockKernelMCImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Run(first); err != nil {
+		t.Fatal(err)
+	}
+	if fast.BlockMCStrides() == 0 {
+		t.Fatal("multi-core stride engine never engaged on the lock-step kernel")
+	}
+	snap := fast.Snapshot()
+
+	restored, err := New(cfg, blockKernelMCImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.BlockMCStrides() != 0 || restored.BlockMCCycles() != 0 {
+		t.Errorf("restored platform reports %d strides / %d cycles, want fresh diagnostics",
+			restored.BlockMCStrides(), restored.BlockMCCycles())
+	}
+
+	fork, err := fast.Fork(fast.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, p := range map[string]*Platform{"original": fast, "restored": restored, "forked": fork} {
+		if err := p.Run(total - first); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertIdenticalNoTrace(t, exact, p)
+		if p.BlockMCStrides() == 0 {
+			t.Errorf("%s: multi-core strides never re-engaged after the boundary", name)
+		}
+		for c := 0; c < 4; c++ {
+			v, _ := exact.PeekData(c, 1216)
+			if w, _ := p.PeekData(c, 1216); w != v {
+				t.Errorf("%s: core %d kernel output diverges", name, c)
+			}
+		}
+	}
+}
+
 // TestBlockEngineSnapshotMidBlock pins the process-state contract: a
 // snapshot taken while the block engine is mid-stride (the budget boundary
 // falls inside a basic block) restores onto a fresh platform, forks onto a

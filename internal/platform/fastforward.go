@@ -39,8 +39,9 @@ import (
 // Run simulates up to n further cycles, stopping early when every core has
 // halted or a fault occurs. Unless the platform is in exact mode, quiescent
 // stretches are leapt over in bulk, and — when no event tracer is attached —
-// proven-periodic spin-loop stretches too (spinff.go), while single-core
-// compute-bound stretches execute on the basic-block fast path
+// proven-periodic spin-loop stretches too (spinff.go), while compute-bound
+// stretches — one core in straight-line code, or N ≥ 2 running cores in
+// conflict-free lock-step — execute on the basic-block fast path
 // (blockengine.go); the observable behaviour is identical either way.
 func (p *Platform) Run(n uint64) error {
 	p.spinSetTracking(!p.exact && p.tracer == nil)

@@ -385,6 +385,7 @@ func New(cfg Config, img *Image) (*Platform, error) {
 		}
 	}
 	p.block.set = mem.AnalyzeBlocks(p.imem)
+	p.block.blockInit(n)
 	// Load data through the address mapping.
 	load := func(coreID int, base uint16, words []uint16) error {
 		for i, w := range words {
@@ -492,7 +493,7 @@ func (p *Platform) CoreBusy(c int) uint64 { return p.perCoreBusy[c] }
 func (p *Platform) MaxSampleBusy() uint64 { return p.maxSampleBusy }
 
 // PublishMetrics publishes the platform's run diagnostics into reg: the
-// full activity counter set, the three fast-path engine odometers, the
+// full activity counter set, the fast-path engine odometers, the
 // per-core busy breakdown and the worst-case per-sample busy window.
 // This is the uniform stats surface the CLIs print on stderr (replacing
 // the former ad-hoc stdout stats lines); histograms (leap lengths,
@@ -509,6 +510,8 @@ func (p *Platform) PublishMetrics(reg *obs.Registry) {
 	reg.Add("engine.spin.skipped_cycles", p.spin.skipped)
 	reg.Add("engine.block.runs", p.block.runs)
 	reg.Add("engine.block.cycles", p.block.cycles)
+	reg.Add("engine.block.mc_strides", p.block.mcRuns)
+	reg.Add("engine.block.mc_cycles", p.block.mcCycles)
 	reg.Add("sim.cycles", p.cycle)
 	reg.Add("sim.max_sample_busy_cycles", p.maxSampleBusy)
 	for c := 0; c < p.ncore; c++ {

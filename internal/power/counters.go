@@ -86,6 +86,54 @@ func (c *Counters) AddIdleCycles(n, gatedCores, haltedCores uint64) {
 	c.CoreHalted += n * haltedCores
 }
 
+// StrideDelta is the bulk counter flush of one block-engine stride: the
+// activity a straight-line stretch accumulated, applied in one shot instead
+// of per cycle. Both the single-core block path and the multi-core stride
+// path fill one of these, so the counter mapping — which fields a stride may
+// touch, and that interconnect traffic is exactly fetches plus granted data
+// requests — lives in one place.
+//
+// A stride by construction contains no MMIO, no sync ISE, no bank conflicts
+// and no stalled requests, so the conflict/MMIO/sync counters have no delta.
+type StrideDelta struct {
+	Cycles uint64 // platform cycles covered by the stride
+	Instrs uint64 // instructions executed
+
+	ActiveCycles  uint64 // core-cycles that executed (CoreActive)
+	StallCycles   uint64 // branch-bubble core-cycles (CoreStall)
+	BranchBubbles uint64 // taken branches
+	UngatedCycles uint64 // core-cycles receiving a clock (active or bubble)
+	GatedCycles   uint64 // core-cycles spent clock-gated alongside the stride
+	HaltedCycles  uint64 // core-cycles spent power-gated alongside the stride
+
+	IMReqs     uint64 // fetch requests issued
+	IMAccesses uint64 // bank reads performed after broadcast merging
+	DMReqs     uint64 // data requests issued
+	DMReads    uint64 // bank reads performed (merged riders excluded)
+	DMWrites   uint64 // bank writes performed
+}
+
+// AddStride accounts one block-engine stride. It must mutate exactly the
+// counters a cycle-by-cycle run of the same stretch would, so the fast paths
+// stay bit-identical to the exact engine.
+func (c *Counters) AddStride(d StrideDelta) {
+	c.Cycles += d.Cycles
+	c.Instrs += d.Instrs
+	c.CoreActive += d.ActiveCycles
+	c.CoreStall += d.StallCycles
+	c.BranchBubbles += d.BranchBubbles
+	c.UngatedCoreCycles += d.UngatedCycles
+	c.CoreGated += d.GatedCycles
+	c.CoreHalted += d.HaltedCycles
+	c.IMReqs += d.IMReqs
+	c.IMAccesses += d.IMAccesses
+	c.DMReqs += d.DMReqs
+	c.DMReads += d.DMReads
+	c.DMWrites += d.DMWrites
+	// Every fetch and every granted data request crossed the interconnect.
+	c.XbarReqs += d.IMReqs + d.DMReqs
+}
+
 // IMBroadcastPct returns the share of fetch requests satisfied by a merged
 // (broadcast) access instead of a dedicated bank read, in percent. This is
 // Table I's "IM Broadcast (%)".

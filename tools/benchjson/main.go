@@ -14,7 +14,10 @@
 // `go test -bench` sweep can feed several data files. -out writes the array
 // to a file instead of stdout; with -append the new results are merged onto
 // the file's existing array, which is how BENCH_engine.json accumulates
-// series for several engines across regeneration runs.
+// series for several engines across regeneration runs. -commit stamps the
+// incoming results with a commit identity, and the merge deduplicates on the
+// (name, commit) pair — re-running the generation command for one commit
+// replaces that commit's data points instead of duplicating them.
 //
 // A benchmark line has the shape
 //
@@ -40,9 +43,13 @@ import (
 
 // Result is one benchmark measurement. Units with characters JSON keys
 // tolerate but Go identifiers do not (percent signs, slashes) stay verbatim
-// in Metrics.
+// in Metrics. Commit is the -commit identity stamp: the dedup key -append
+// merges on, so re-generating a data point for the same commit replaces it
+// instead of accumulating duplicates. Entries from the pre-stamp era have no
+// commit and form their own identity.
 type Result struct {
 	Name       string             `json:"name"`
+	Commit     string             `json:"commit,omitempty"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
@@ -111,26 +118,52 @@ func matches(name string, filters []string) bool {
 	return false
 }
 
+// merge appends incoming results onto a prior series, deduplicating on the
+// (name, commit) identity: of all entries sharing one identity only the
+// newest survives — later prior entries supersede earlier ones (repairing
+// files that accumulated duplicates before the stamp existed), and incoming
+// entries supersede prior ones (re-generating a commit's data point replaces
+// it). Entries from different commits always coexist; the series across
+// commits is the point of the file.
+func merge(prior, incoming []Result) []Result {
+	all := make([]Result, 0, len(prior)+len(incoming))
+	all = append(all, prior...)
+	all = append(all, incoming...)
+	type key struct{ name, commit string }
+	last := make(map[key]int, len(all))
+	for i, r := range all {
+		last[key{r.Name, r.Commit}] = i
+	}
+	out := make([]Result, 0, len(last))
+	for i, r := range all {
+		if last[key{r.Name, r.Commit}] == i {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 func main() {
 	outPath := flag.String("out", "", "write the JSON array to this file instead of stdout")
 	appendOut := flag.Bool("append", false, "with -out, merge new results onto the file's existing array")
+	commit := flag.String("commit", "", "stamp parsed results with this commit identity (the -append dedup key)")
 	flag.Parse()
 	if *appendOut && *outPath == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -append requires -out")
 		os.Exit(1)
 	}
 
-	var results []Result
+	var prior []Result
 	if *appendOut {
-		prior, err := readResults(*outPath)
+		var err error
+		prior, err = readResults(*outPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		results = prior
 	}
 
-	matched := 0
+	var incoming []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -138,17 +171,18 @@ func main() {
 		if !ok || !matches(r.Name, flag.Args()) {
 			continue
 		}
-		results = append(results, r)
-		matched++
+		r.Commit = *commit
+		incoming = append(incoming, r)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if matched == 0 {
+	if len(incoming) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no matching benchmark lines on stdin")
 		os.Exit(1)
 	}
+	results := merge(prior, incoming)
 	out, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkBlockEngine/exact-8    14    75368640 ns/op    26536322 cycles/s")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	want := Result{
+		Name:       "BenchmarkBlockEngine/exact",
+		Iterations: 14,
+		NsPerOp:    75368640,
+		Metrics:    map[string]float64{"cycles/s": 26536322},
+	}
+	if !reflect.DeepEqual(r, want) {
+		t.Errorf("parseLine = %+v, want %+v", r, want)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	repro	7.010s",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"--- BENCH: BenchmarkFoo",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted non-result line %q", line)
+		}
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo/sub-16":   "BenchmarkFoo/sub",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo-bar":      "BenchmarkFoo-bar",
+		"BenchmarkFoo-":         "BenchmarkFoo-",
+		"BenchmarkFoo/jobs=4-8": "BenchmarkFoo/jobs=4",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	if !matches("BenchmarkFoo/sub", nil) {
+		t.Error("no filters must select everything")
+	}
+	filters := []string{"BenchmarkFoo"}
+	for name, want := range map[string]bool{
+		"BenchmarkFoo":     true,
+		"BenchmarkFoo/sub": true,
+		"BenchmarkFooBar":  false,
+		"BenchmarkBar":     false,
+	} {
+		if got := matches(name, filters); got != want {
+			t.Errorf("matches(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestMergeDedupesNameCommit is the regression test for the duplicate-series
+// bug: appending the same benchmark for the same commit twice must replace
+// the data point, not accumulate it, while distinct commits (including the
+// unstamped pre-commit era) keep their own entries.
+func TestMergeDedupesNameCommit(t *testing.T) {
+	old := Result{Name: "BenchmarkX/exact", Iterations: 1, NsPerOp: 100}
+	oldDup := Result{Name: "BenchmarkX/exact", Iterations: 2, NsPerOp: 110}
+	a1 := Result{Name: "BenchmarkX/exact", Commit: "abc", Iterations: 3, NsPerOp: 90}
+	prior := []Result{old, oldDup, a1}
+
+	// Re-generating commit "abc" replaces its entry; the unstamped era
+	// collapses to its newest entry; a new commit accumulates.
+	a2 := Result{Name: "BenchmarkX/exact", Commit: "abc", Iterations: 4, NsPerOp: 85}
+	b1 := Result{Name: "BenchmarkX/exact", Commit: "def", Iterations: 5, NsPerOp: 80}
+	got := merge(prior, []Result{a2, b1})
+	want := []Result{oldDup, a2, b1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merge = %+v\nwant %+v", got, want)
+	}
+
+	// Same name under a different commit never touches other commits'
+	// entries; different names never collide at all.
+	c := Result{Name: "BenchmarkY", Commit: "def", Iterations: 1}
+	got = merge(want, []Result{c})
+	if !reflect.DeepEqual(got, append(append([]Result(nil), want...), c)) {
+		t.Errorf("cross-name merge disturbed the series: %+v", got)
+	}
+
+	// An empty prior (first generation) passes incoming through.
+	if got := merge(nil, []Result{a1}); !reflect.DeepEqual(got, []Result{a1}) {
+		t.Errorf("merge(nil, x) = %+v", got)
+	}
+}
